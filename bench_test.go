@@ -1,0 +1,365 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Each BenchmarkFigure*/BenchmarkTable* target runs the
+// corresponding experiment end to end and reports the headline numbers
+// as custom metrics; cmd/dphsrc-bench produces the full-scale artifacts
+// (SVG/CSV). Benchmark scales are reduced so `go test -bench=.`
+// completes in minutes; EXPERIMENTS.md records full-scale results.
+package dphsrc_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/dphsrc/dphsrc"
+)
+
+// benchConfig returns the scaled-down experiment configuration used by
+// the figure benches.
+func benchConfig() dphsrc.ExperimentConfig {
+	return dphsrc.ExperimentConfig{
+		Seed:          1,
+		Scale:         0.3,
+		OptimalBudget: 2 * time.Second,
+	}
+}
+
+// reportPaymentRatios attaches the headline "who wins by how much"
+// metrics of a payment sweep figure.
+func reportPaymentRatios(b *testing.B, res dphsrc.FigureResult) {
+	b.Helper()
+	var dp, base, opt []float64
+	for _, s := range res.Series {
+		switch s.Name {
+		case "DP-hSRC Auction":
+			dp = s.Y
+		case "Baseline Auction":
+			base = s.Y
+		case "Optimal":
+			opt = s.Y
+		}
+	}
+	if dp == nil || base == nil {
+		b.Fatal("missing series")
+	}
+	sum := func(xs []float64) float64 {
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t
+	}
+	b.ReportMetric(sum(base)/sum(dp), "baseline/dphsrc-payment")
+	if opt != nil {
+		b.ReportMetric(sum(dp)/sum(opt), "dphsrc/optimal-payment")
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (payment vs N, Setting I:
+// Optimal vs DP-hSRC vs Baseline).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := dphsrc.Figure1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPaymentRatios(b, res)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (payment vs K, Setting II).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := dphsrc.Figure2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPaymentRatios(b, res)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (payment vs N, Setting III;
+// DP-hSRC vs Baseline, no exact optimum at this scale — as in the
+// paper).
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.12 // Setting III is 800-1400 workers at full scale
+	for i := 0; i < b.N; i++ {
+		res, err := dphsrc.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPaymentRatios(b, res)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (payment vs K, Setting IV).
+func BenchmarkFigure4(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.12
+	for i := 0; i < b.N; i++ {
+		res, err := dphsrc.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPaymentRatios(b, res)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (execution time of DP-hSRC vs
+// the exact optimal algorithm, Settings I and II) and reports the mean
+// per-point times as metrics.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig()
+	cfg.OptimalBudget = time.Second
+	for i := 0; i < b.N; i++ {
+		res, err := dphsrc.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var dp, opt float64
+			rows := append(res.SettingI, res.SettingII...)
+			for _, row := range rows {
+				dp += row.DPSeconds
+				opt += row.OptSeconds
+			}
+			n := float64(len(rows))
+			b.ReportMetric(dp/n, "dphsrc-mean-s")
+			b.ReportMetric(opt/n, "optimal-mean-s")
+			b.ReportMetric(opt/dp, "optimal/dphsrc-time")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (payment-privacy trade-off
+// across the epsilon sweep) and reports the endpoints.
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.08
+	for i := 0; i < b.N; i++ {
+		res, err := dphsrc.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := len(res.Epsilons) - 1
+			b.ReportMetric(res.Payment[0]/res.Payment[last], "payment-eps0.25/eps1000")
+			b.ReportMetric(res.Leakage[last], "leakage-at-eps1000")
+		}
+	}
+}
+
+// BenchmarkAuctionConstruction measures the DP-hSRC mechanism's cost as
+// the worker count grows (Theorem 5: O(N^2 K)); interval sharing keeps
+// it independent of |P|.
+func BenchmarkAuctionConstruction(b *testing.B) {
+	for _, n := range []int{100, 200, 400, 800} {
+		b.Run(sizeName("N", n), func(b *testing.B) {
+			inst := mustInstance(b, dphsrc.SettingI(n), 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.New(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAuctionRun measures sampling alone (one exponential-
+// mechanism draw on a precomputed auction).
+func BenchmarkAuctionRun(b *testing.B) {
+	inst := mustInstance(b, dphsrc.SettingI(120), 7)
+	a, err := dphsrc.New(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Run(r)
+	}
+}
+
+// BenchmarkAblationGreedyVsStatic quantifies the payment gap between
+// Algorithm 1's marginal-gain greedy and the baseline's static order —
+// the design choice behind Figures 1-4 (DESIGN.md ablation 1).
+func BenchmarkAblationGreedyVsStatic(b *testing.B) {
+	inst := mustInstance(b, dphsrc.SettingI(120), 3)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := dphsrc.New(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := dphsrc.New(inst, dphsrc.WithRule(dphsrc.RuleStatic))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = s.ExpectedPayment() / g.ExpectedPayment()
+	}
+	b.ReportMetric(ratio, "static/greedy-payment")
+}
+
+// BenchmarkAblationLazyVsNaiveGreedy compares the lazy (CELF) greedy
+// against the literal argmax scan of Algorithm 1 (DESIGN.md ablation;
+// both produce identical winner sets).
+func BenchmarkAblationLazyVsNaiveGreedy(b *testing.B) {
+	inst := mustInstance(b, dphsrc.SettingI(140), 5)
+	for _, tc := range []struct {
+		name string
+		rule dphsrc.SelectionRule
+	}{
+		{"lazy", dphsrc.RuleGreedy},
+		{"naive", dphsrc.RuleGreedyNaive},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var evals int
+			for i := 0; i < b.N; i++ {
+				a, err := dphsrc.New(inst, dphsrc.WithRule(tc.rule))
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals = a.GainEvaluations()
+			}
+			b.ReportMetric(float64(evals), "gain-evals")
+		})
+	}
+}
+
+// BenchmarkAblationPriceRules compares the exponential mechanism's
+// expected payment against non-private alternatives: always picking the
+// cheapest price (argmin; zero privacy) and picking uniformly (maximal
+// randomness; poor payment). DESIGN.md ablation 2.
+func BenchmarkAblationPriceRules(b *testing.B) {
+	inst := mustInstance(b, dphsrc.SettingI(120), 9)
+	a, err := dphsrc.New(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var expMech, uniform, argmin float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		support := a.Support()
+		expMech = a.ExpectedPayment()
+		uniform, argmin = 0, support[0].Payment
+		for _, info := range support {
+			uniform += info.Payment / float64(len(support))
+			if info.Payment < argmin {
+				argmin = info.Payment
+			}
+		}
+	}
+	b.ReportMetric(expMech/argmin, "expmech/argmin-payment")
+	b.ReportMetric(uniform/argmin, "uniform/argmin-payment")
+}
+
+// BenchmarkAblationPriceGridResolution shows that interval sharing
+// makes construction cost independent of the price-grid resolution
+// (DESIGN.md ablation 3): a 5x finer grid should not cost 5x.
+func BenchmarkAblationPriceGridResolution(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		step float64
+	}{
+		{"step0.5", 0.5},
+		{"step0.1", 0.1},
+		{"step0.02", 0.02},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			params := dphsrc.SettingI(120)
+			params.PriceStep = tc.step
+			inst := mustInstance(b, params, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.New(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactSolver measures the branch-and-bound on a Setting-I
+// style instance (the per-price subproblem of the paper's GUROBI
+// baseline).
+func BenchmarkExactSolver(b *testing.B) {
+	inst := mustInstance(b, dphsrc.SettingI(80).Scaled(0.4), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dphsrc.Optimal(inst, dphsrc.OptimalOptions{TimeBudget: 5 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkEMTruthDiscovery measures skill estimation on a realistic
+// warm-up round.
+func BenchmarkEMTruthDiscovery(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	const workers, tasks = 100, 200
+	truth := dphsrc.TrueLabels(r, tasks)
+	bundles := make([][]int, workers)
+	skills := make([][]float64, workers)
+	ids := make([]int, workers)
+	for i := range bundles {
+		ids[i] = i
+		bundle := make([]int, tasks)
+		row := make([]float64, tasks)
+		acc := 0.55 + 0.4*r.Float64()
+		for j := range bundle {
+			bundle[j] = j
+			row[j] = acc
+		}
+		bundles[i] = bundle
+		skills[i] = row
+	}
+	reports, err := dphsrc.Collect(r, truth, ids, bundles, skills)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dphsrc.EstimateSkills(reports, workers, tasks, dphsrc.EMOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mustInstance generates a feasible instance or fails the benchmark.
+func mustInstance(b *testing.B, params dphsrc.WorkloadParams, seed int64) dphsrc.Instance {
+	b.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 20; attempt++ {
+		inst, err := params.Generate(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dphsrc.New(inst); err == nil {
+			return inst
+		}
+	}
+	b.Fatal("could not generate a feasible instance")
+	return dphsrc.Instance{}
+}
+
+// sizeName formats subbenchmark names.
+func sizeName(prefix string, n int) string {
+	return prefix + "=" + strconv.Itoa(n)
+}

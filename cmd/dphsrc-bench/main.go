@@ -1,0 +1,137 @@
+// Command dphsrc-bench regenerates the paper's evaluation: Figures 1-5
+// and Table II, writing SVG/CSV/text outputs under a results directory.
+//
+// Usage:
+//
+//	dphsrc-bench -run all -out results            # everything, full scale
+//	dphsrc-bench -run fig1,table2 -scale 0.5      # scaled-down exact runs
+//	dphsrc-bench -list                            # print Table I settings
+//
+// At full scale the exact "Optimal" baseline of Figures 1-2 and Table
+// II is the expensive part (the paper's GUROBI runs took up to 6139 s);
+// -budget bounds each exact solve and unproven points are annotated in
+// the figure notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dphsrc/dphsrc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dphsrc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dphsrc-bench", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,fig5,table2 or all")
+		outDir  = fs.String("out", "results", "output directory")
+		seed    = fs.Int64("seed", 1, "root random seed")
+		scale   = fs.Float64("scale", 1.0, "instance size multiplier vs Table I (use <1 to keep exact solves provable)")
+		budget  = fs.Duration("budget", 10*time.Second, "wall-clock budget per exact TPM solve")
+		samples = fs.Int("samples", 0, "Monte-Carlo price samples per point (0 = exact PMF statistics)")
+		list    = fs.Bool("list", false, "print the Table I simulation settings and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		printSettings()
+		return nil
+	}
+
+	cfg := dphsrc.ExperimentConfig{
+		Seed:          *seed,
+		Scale:         *scale,
+		OptimalBudget: *budget,
+		Samples:       *samples,
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	type figRunner struct {
+		name string
+		fn   func(dphsrc.ExperimentConfig) (dphsrc.FigureResult, error)
+	}
+	for _, fr := range []figRunner{
+		{"fig1", dphsrc.Figure1},
+		{"fig2", dphsrc.Figure2},
+		{"fig3", dphsrc.Figure3},
+		{"fig4", dphsrc.Figure4},
+	} {
+		if !all && !want[fr.name] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("running %s...\n", fr.name)
+		res, err := fr.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fr.name, err)
+		}
+		files, err := dphsrc.WriteFigure(*outDir, res)
+		if err != nil {
+			return fmt.Errorf("%s: writing: %w", fr.name, err)
+		}
+		fmt.Printf("  done in %v -> %s\n", time.Since(start).Round(time.Millisecond), strings.Join(files, ", "))
+		for _, note := range res.Notes {
+			fmt.Printf("  note: %s\n", note)
+		}
+	}
+
+	if all || want["table2"] {
+		start := time.Now()
+		fmt.Println("running table2...")
+		res, err := dphsrc.Table2(cfg)
+		if err != nil {
+			return fmt.Errorf("table2: %w", err)
+		}
+		files, err := dphsrc.WriteTable2(*outDir, res)
+		if err != nil {
+			return fmt.Errorf("table2: writing: %w", err)
+		}
+		fmt.Printf("  done in %v -> %s\n", time.Since(start).Round(time.Millisecond), strings.Join(files, ", "))
+	}
+
+	if all || want["fig5"] {
+		start := time.Now()
+		fmt.Println("running fig5...")
+		res, err := dphsrc.Figure5(cfg)
+		if err != nil {
+			return fmt.Errorf("fig5: %w", err)
+		}
+		files, err := dphsrc.WriteFigure5(*outDir, res)
+		if err != nil {
+			return fmt.Errorf("fig5: writing: %w", err)
+		}
+		fmt.Printf("  done in %v -> %s\n", time.Since(start).Round(time.Millisecond), strings.Join(files, ", "))
+	}
+	return nil
+}
+
+// printSettings renders Table I.
+func printSettings() {
+	tbl := dphsrc.TextTable{
+		Headers: []string{"Setting", "eps", "cmin", "cmax", "|bundle|", "theta", "delta", "N", "K"},
+		Rows: [][]string{
+			{"I", "0.1", "10", "60", "[10,20]", "[0.1,0.9]", "[0.1,0.2]", "[80,140]", "30"},
+			{"II", "0.1", "10", "60", "[10,20]", "[0.1,0.9]", "[0.1,0.2]", "120", "[20,50]"},
+			{"III", "0.1", "10", "60", "[50,150]", "[0.1,0.9]", "[0.1,0.2]", "[800,1400]", "200"},
+			{"IV", "0.1", "10", "60", "[50,150]", "[0.1,0.9]", "[0.1,0.2]", "1000", "[200,500]"},
+		},
+	}
+	fmt.Println("Table I — simulation settings")
+	fmt.Print(tbl.String())
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallFigure(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-run", "fig3",
+		"-out", dir,
+		"-scale", "0.06",
+		"-seed", "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig3.svg", "fig3.csv"} {
+		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
+			t.Errorf("%s missing or empty: %v", f, err)
+		}
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// Unknown names simply match nothing; run must not error.
+	if err := run([]string{"-run", "fig99", "-out", t.TempDir()}); err != nil {
+		t.Fatalf("unknown experiment name errored: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

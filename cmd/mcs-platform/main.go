@@ -1,0 +1,119 @@
+// Command mcs-platform runs a DP-hSRC auction round as a TCP daemon:
+// it announces tasks, collects sealed bids for a window, selects
+// winners with the DP-hSRC mechanism, collects their labels, aggregates
+// with Lemma 1's weighted rule, and settles payments.
+//
+// Usage:
+//
+//	mcs-platform -addr :7788 -tasks 8 -delta 0.3 -window 10s -min-workers 5
+//
+// Worker skill records are simulated from a per-worker seeded hash (a
+// stand-in for the historical skill store the paper assumes the
+// platform maintains; see DESIGN.md).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/dphsrc/dphsrc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcs-platform:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcs-platform", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7788", "listen address")
+		tasks      = fs.Int("tasks", 8, "number of binary classification tasks")
+		delta      = fs.Float64("delta", 0.3, "per-task aggregation error threshold")
+		eps        = fs.Float64("eps", 0.5, "differential privacy budget")
+		cmin       = fs.Float64("cmin", 5, "minimum worker cost")
+		cmax       = fs.Float64("cmax", 30, "maximum worker cost")
+		window     = fs.Duration("window", 15*time.Second, "bid collection window")
+		minWorkers = fs.Int("min-workers", 0, "close the window early after this many bids (0 = wait out the window)")
+		seed       = fs.Int64("seed", 0, "mechanism seed (0 = from clock)")
+		skillLo    = fs.Float64("skill-lo", 0.75, "lower bound of simulated historical skills")
+		skillHi    = fs.Float64("skill-hi", 0.95, "upper bound of simulated historical skills")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	thresholds := make([]float64, *tasks)
+	for j := range thresholds {
+		thresholds[j] = *delta
+	}
+	cfg := dphsrc.PlatformConfig{
+		NumTasks:   *tasks,
+		Thresholds: thresholds,
+		Epsilon:    *eps,
+		CMin:       *cmin,
+		CMax:       *cmax,
+		PriceGrid:  dphsrc.PriceGridRange(*cmin, *cmax, 0.5),
+		Skills:     hashedSkills(*skillLo, *skillHi),
+		BidWindow:  *window,
+		MinWorkers: *minWorkers,
+		Seed:       *seed,
+		Logger:     log.New(os.Stderr, "platform ", log.LstdFlags),
+	}
+	platform, err := dphsrc.NewPlatform(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	log.Printf("platform listening on %s; announcing %d tasks for %v", ln.Addr(), *tasks, *window)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	report, err := platform.RunRound(ctx, ln)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"bidders":          report.Bidders,
+		"clearing_price":   report.Outcome.Price,
+		"winners":          len(report.Outcome.Winners),
+		"total_payment":    report.Outcome.TotalPayment,
+		"reports_received": report.ReportsReceived,
+		"aggregated":       report.Aggregated,
+		"worker_ids":       report.WorkerIDs,
+	})
+}
+
+// hashedSkills derives a deterministic per-worker skill row from the
+// worker's ID, simulating the platform's historical skill store.
+func hashedSkills(lo, hi float64) dphsrc.SkillFunc {
+	return func(workerID string, numTasks int) []float64 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(workerID))
+		r := rand.New(rand.NewSource(int64(h.Sum64())))
+		row := make([]float64, numTasks)
+		for j := range row {
+			row[j] = lo + r.Float64()*(hi-lo)
+		}
+		return row
+	}
+}

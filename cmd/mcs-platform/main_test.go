@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestHashedSkillsDeterministicPerWorker(t *testing.T) {
+	f := hashedSkills(0.7, 0.95)
+	a := f("alice", 5)
+	b := f("alice", 5)
+	c := f("bob", 5)
+	if len(a) != 5 {
+		t.Fatalf("row length %d", len(a))
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("same worker produced different skills")
+		}
+		if a[j] < 0.7 || a[j] >= 0.95 {
+			t.Errorf("skill %v outside [0.7, 0.95)", a[j])
+		}
+	}
+	same := true
+	for j := range a {
+		if a[j] != c[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct workers produced identical skill rows")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-tasks", "0", "-window", "1ms"}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:99999"}); err == nil {
+		t.Error("bad address accepted")
+	}
+}

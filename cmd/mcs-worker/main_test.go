@@ -1,0 +1,54 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBundle(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"3,1,2", []int{1, 2, 3}},
+		{"5, 5 ,5", []int{5}},
+		{" 7 ,0", []int{0, 7}},
+	}
+	for _, tc := range cases {
+		got, err := parseBundle(tc.in)
+		if err != nil {
+			t.Errorf("parseBundle(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseBundle(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseBundleErrors(t *testing.T) {
+	for _, in := range []string{"", "a", "1,b", "-3", "1,-2"} {
+		if _, err := parseBundle(in); err == nil {
+			t.Errorf("parseBundle(%q): expected error", in)
+		}
+	}
+}
+
+func TestHashIDDeterministicAndSpread(t *testing.T) {
+	if hashID("alice") != hashID("alice") {
+		t.Error("hashID not deterministic")
+	}
+	if hashID("alice") == hashID("bob") {
+		t.Error("hashID collides on distinct short ids")
+	}
+}
+
+func TestRunRequiresIDAndBundle(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1"}); err == nil {
+		t.Error("missing -id/-bundle accepted")
+	}
+	if err := run([]string{"-id", "x", "-bundle", "bad"}); err == nil {
+		t.Error("bad bundle accepted")
+	}
+}

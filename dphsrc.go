@@ -1,0 +1,361 @@
+// Package dphsrc is a Go implementation of the DP-hSRC auction from
+// "Enabling Privacy-Preserving Incentives for Mobile Crowd Sensing
+// Systems" (Jin, Su, Ding, Nahrstedt, Borisov — ICDCS 2016): a
+// differentially private, approximately truthful, individually rational
+// and computationally efficient reverse combinatorial auction that a
+// mobile-crowd-sensing platform uses to buy binary classification
+// labels from strategic workers while bounding every task's aggregation
+// error and approximately minimizing its total payment.
+//
+// This root package is the public API; it re-exports the library's
+// internal packages:
+//
+//   - the auction mechanism itself (Instance, Auction, New, Run);
+//   - the exact "Optimal" baseline solver used in the paper's
+//     evaluation (Optimal);
+//   - the crowd-sensing substrate: label simulation, Lemma-1 weighted
+//     aggregation, and EM truth discovery (RunCampaign, EstimateSkills);
+//   - privacy accounting (MeasureLeakage);
+//   - the Table-I workload generators (SettingI..SettingIV);
+//   - the experiment harness that regenerates every figure and table of
+//     the paper (Figure1..Figure5, Table2);
+//   - the TCP platform/worker protocol for running real distributed
+//     rounds (NewPlatform, Participate).
+//
+// Quick start:
+//
+//	params := dphsrc.SettingI(100)
+//	inst, _ := params.Generate(rand.New(rand.NewSource(1)))
+//	auction, err := dphsrc.New(inst)
+//	if err != nil { ... }
+//	outcome := auction.Run(rand.New(rand.NewSource(2)))
+//	fmt.Println(outcome.Price, len(outcome.Winners))
+package dphsrc
+
+import (
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/crowd"
+	"github.com/dphsrc/dphsrc/internal/experiment"
+	"github.com/dphsrc/dphsrc/internal/geo"
+	"github.com/dphsrc/dphsrc/internal/ilp"
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/plot"
+	"github.com/dphsrc/dphsrc/internal/privacy"
+	"github.com/dphsrc/dphsrc/internal/protocol"
+	"github.com/dphsrc/dphsrc/internal/stats"
+	"github.com/dphsrc/dphsrc/internal/workload"
+)
+
+// Auction model (internal/core).
+type (
+	// Instance is a complete hSRC auction instance: tasks with error
+	// thresholds, workers with bundles and bids, the platform's skill
+	// matrix, the privacy budget and the candidate price grid.
+	Instance = core.Instance
+	// Worker is one participant's bid: her bundle and asked price.
+	Worker = core.Worker
+	// Auction is a fully precomputed DP-hSRC auction; safe for
+	// concurrent use.
+	Auction = core.Auction
+	// Outcome is one sampled auction result.
+	Outcome = core.Outcome
+	// PriceInfo describes the mechanism's state at one support price.
+	PriceInfo = core.PriceInfo
+	// Option configures New.
+	Option = core.Option
+	// SelectionRule chooses the winner-set computation rule.
+	SelectionRule = core.SelectionRule
+)
+
+// Selection rules.
+const (
+	// RuleGreedy is Algorithm 1's marginal-gain greedy (the paper's
+	// mechanism; default).
+	RuleGreedy = core.RuleGreedy
+	// RuleGreedyNaive is the literal per-selection argmax scan.
+	RuleGreedyNaive = core.RuleGreedyNaive
+	// RuleStatic is the baseline auction of the paper's Section VII-A.
+	RuleStatic = core.RuleStatic
+)
+
+// New builds a DP-hSRC auction over the instance. See core.New.
+func New(inst Instance, opts ...Option) (*Auction, error) { return core.New(inst, opts...) }
+
+// WithRule selects the winner-set computation rule.
+func WithRule(r SelectionRule) Option { return core.WithRule(r) }
+
+// WithPriceSet fixes the mechanism's price support explicitly (the
+// paper's P input to Algorithm 1); required when comparing adjacent bid
+// profiles for privacy analysis.
+func WithPriceSet(p []float64) Option { return core.WithPriceSet(p) }
+
+// WithParallelism computes winner sets for distinct candidate counts on
+// up to n goroutines; results are identical to the sequential default.
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// PriceGridRange builds the ascending grid {lo, lo+step, ..., <= hi}.
+func PriceGridRange(lo, hi, step float64) []float64 { return core.PriceGridRange(lo, hi, step) }
+
+// Auction construction errors re-exported for errors.Is matching.
+var (
+	// ErrInfeasible reports that no price in the instance grid admits a
+	// winner set satisfying every task's error-bound constraint.
+	ErrInfeasible = core.ErrInfeasible
+)
+
+// Exact optimal baseline (internal/ilp).
+type (
+	// OptimalResult is the exact single-price optimum R_OPT for an
+	// instance (Equation 6 of the paper).
+	OptimalResult = ilp.OptimalResult
+	// OptimalOptions bounds the exact solver's effort.
+	OptimalOptions = ilp.Options
+)
+
+// Optimal computes R_OPT = min_p p*|S_OPT(p)| exactly by
+// branch-and-bound (the paper's GUROBI baseline, reimplemented).
+func Optimal(inst Instance, opts OptimalOptions) (OptimalResult, error) {
+	return ilp.Optimal(inst, opts)
+}
+
+// Crowd-sensing substrate (internal/crowd).
+type (
+	// Label is a binary classification label (+1, -1, or unlabeled).
+	Label = crowd.Label
+	// Report is one label submitted by one worker for one task.
+	Report = crowd.Report
+	// CampaignResult is the outcome of a full auction+sensing campaign.
+	CampaignResult = crowd.CampaignResult
+	// EMResult is the truth-discovery output: estimated worker
+	// accuracies and MAP labels.
+	EMResult = crowd.EMResult
+	// EMOptions configures EstimateSkills.
+	EMOptions = crowd.EMOptions
+)
+
+// Label values.
+const (
+	Unlabeled = crowd.Unlabeled
+	Positive  = crowd.Positive
+	Negative  = crowd.Negative
+)
+
+// RunCampaign executes the full MCS workflow on a simulated crowd:
+// auction, sensing, Lemma-1 aggregation and settlement.
+var RunCampaign = crowd.RunCampaign
+
+// WeightedAggregate aggregates labels with Lemma 1's skill-weighted
+// rule.
+var WeightedAggregate = crowd.WeightedAggregate
+
+// MajorityVote is the unweighted aggregation baseline.
+var MajorityVote = crowd.MajorityVote
+
+// EstimateSkills runs one-coin Dawid-Skene EM truth discovery to
+// recover worker accuracies without ground truth.
+var EstimateSkills = crowd.EstimateSkills
+
+// EstimateSkillsTwoCoin runs full Dawid-Skene EM with separate
+// per-worker sensitivity and specificity, for biased workers.
+var EstimateSkillsTwoCoin = crowd.EstimateSkillsTwoCoin
+
+// TwoCoinResult is the two-coin truth-discovery output.
+type TwoCoinResult = crowd.TwoCoinResult
+
+// SkillMatrix expands per-worker accuracies to the theta matrix the
+// auction consumes.
+var SkillMatrix = crowd.SkillMatrix
+
+// EmpiricalTaskError Monte-Carlo-verifies Lemma 1's per-task error
+// bound for a winner set.
+var EmpiricalTaskError = crowd.EmpiricalTaskError
+
+// TrueLabels draws a uniformly random ground-truth label vector.
+var TrueLabels = crowd.TrueLabels
+
+// Collect simulates the sensing phase for a set of workers.
+var Collect = crowd.Collect
+
+// ErrorRate is the fraction of tasks labeled incorrectly.
+var ErrorRate = crowd.ErrorRate
+
+// Privacy accounting (internal/mechanism).
+type (
+	// Leakage quantifies distinguishability of two mechanism outputs
+	// (Definition 8: KL divergence, plus max-log-ratio and TV).
+	Leakage = mechanism.Leakage
+	// ExponentialMechanism is the log-space exponential mechanism over
+	// a finite support.
+	ExponentialMechanism = mechanism.Exponential
+)
+
+// MeasureLeakage compares the exact output distributions of two
+// auctions built from adjacent bid profiles (same price support).
+var MeasureLeakage = mechanism.MeasureLeakage
+
+// Adversary model (internal/privacy): the honest-but-curious worker of
+// the paper's threat model, as an analyzable attacker.
+type (
+	// Distinguisher is the Bayes-optimal attacker deciding between two
+	// hypotheses about a victim's bid from observed auction outcomes.
+	Distinguisher = privacy.Distinguisher
+)
+
+// NewDistinguisher builds the attacker from the two hypothesis PMFs
+// (e.g. Auction.PMF() of two adjacent instances over a shared support).
+var NewDistinguisher = privacy.NewDistinguisher
+
+// AdvantageBound is the cap epsilon-DP places on any single-observation
+// attacker's advantage over random guessing.
+var AdvantageBound = privacy.AdvantageBound
+
+// ComposedEpsilon is the basic sequential-composition budget k*eps for
+// k repeated auction rounds on the same bids.
+var ComposedEpsilon = privacy.ComposedEpsilon
+
+// RoundsToDistinguish is the number of repeated observations after
+// which the composed DP bound first permits the target advantage.
+var RoundsToDistinguish = privacy.RoundsToDistinguish
+
+// Workloads (internal/workload).
+type (
+	// WorkloadParams describes one simulated instance family (a row of
+	// the paper's Table I).
+	WorkloadParams = workload.Params
+)
+
+// Table I settings.
+var (
+	// SettingI is Table I row I: K=30, N in [80,140].
+	SettingI = workload.SettingI
+	// SettingII is Table I row II: N=120, K in [20,50].
+	SettingII = workload.SettingII
+	// SettingIII is Table I row III: K=200, N in [800,1400].
+	SettingIII = workload.SettingIII
+	// SettingIV is Table I row IV: N=1000, K in [200,500].
+	SettingIV = workload.SettingIV
+)
+
+// Experiments (internal/experiment).
+type (
+	// ExperimentConfig controls the figure/table runners.
+	ExperimentConfig = experiment.Config
+	// FigureResult is the data behind one reproduced figure.
+	FigureResult = experiment.FigureResult
+	// Figure5Result carries Figure 5's payment and leakage curves.
+	Figure5Result = experiment.Figure5Result
+	// Table2Result carries Table II's timing rows.
+	Table2Result = experiment.Table2Result
+)
+
+// Figure and table runners (one per paper exhibit).
+var (
+	Figure1 = experiment.Figure1
+	Figure2 = experiment.Figure2
+	Figure3 = experiment.Figure3
+	Figure4 = experiment.Figure4
+	Figure5 = experiment.Figure5
+	Table2  = experiment.Table2
+	// WriteFigure, WriteTable2 and WriteFigure5 persist results as
+	// SVG/CSV/text under a directory.
+	WriteFigure  = experiment.WriteFigure
+	WriteTable2  = experiment.WriteTable2
+	WriteFigure5 = experiment.WriteFigure5
+)
+
+// Plotting (internal/plot).
+type (
+	// Chart is a line chart renderable as SVG or ASCII.
+	Chart = plot.Chart
+	// Series is one named line with optional error bars.
+	Series = plot.Series
+	// TextTable is a rectangular text table with CSV export.
+	TextTable = plot.Table
+)
+
+// Distributed protocol (internal/protocol).
+type (
+	// Platform runs DP-hSRC auction rounds over TCP.
+	Platform = protocol.Platform
+	// PlatformConfig parameterizes one auction round.
+	PlatformConfig = protocol.PlatformConfig
+	// RoundReport summarizes one completed round.
+	RoundReport = protocol.RoundReport
+	// WorkerConfig describes one participating worker client.
+	WorkerConfig = protocol.WorkerConfig
+	// WorkerReport is the client-side record of one round.
+	WorkerReport = protocol.WorkerReport
+	// SkillFunc supplies the platform's skill estimate for a worker.
+	SkillFunc = protocol.SkillFunc
+	// LabelFunc produces a worker's sensed label for a task.
+	LabelFunc = protocol.LabelFunc
+)
+
+// NewPlatform validates the configuration and returns a Platform.
+var NewPlatform = protocol.NewPlatform
+
+// Participate connects a worker client to a platform round.
+var Participate = protocol.Participate
+
+// SkillStore is the platform's learning skill record, updated by truth
+// discovery after every round (see Platform.RunCampaign).
+type SkillStore = protocol.SkillStore
+
+// CampaignReport aggregates a multi-round campaign.
+type ProtocolCampaignReport = protocol.CampaignReport
+
+// NewSkillStore returns a store assuming the given prior accuracy for
+// unknown workers.
+var NewSkillStore = protocol.NewSkillStore
+
+// VerifyOutcome checks an auction outcome against its instance
+// (coverage, individual rationality, payment consistency).
+var VerifyOutcome = core.VerifyOutcome
+
+// EncodeInstance writes a validated instance as JSON (the format
+// cmd/dphsrc reads with -instance).
+var EncodeInstance = core.EncodeInstance
+
+// DecodeInstance reads and validates a JSON instance.
+var DecodeInstance = core.DecodeInstance
+
+// Reproducible randomness (internal/stats).
+type (
+	// Seeder derives independent child seeds from a root seed.
+	Seeder = stats.Seeder
+)
+
+// NewSeeder returns a Seeder rooted at the given seed.
+var NewSeeder = stats.NewSeeder
+
+// Geospatial workloads (internal/geo): the paper's motivating
+// geotagging scenario with spatially correlated bundles.
+type (
+	// RoadNetwork is a grid road network whose segments are tasks.
+	RoadNetwork = geo.RoadNetwork
+	// Commute is a worker's route (her bidding bundle).
+	Commute = geo.Commute
+	// GeoWorkloadParams configures road-network instance generation.
+	GeoWorkloadParams = geo.WorkloadParams
+)
+
+// NewRoadNetwork builds a grid road network of the given dimensions.
+var NewRoadNetwork = geo.NewRoadNetwork
+
+// CoverageHeat counts how many bundles include each segment.
+var CoverageHeat = geo.CoverageHeat
+
+// Privacy budget accounting (internal/mechanism).
+type (
+	// Accountant meters cumulative privacy loss across repeated
+	// auction rounds under basic sequential composition.
+	Accountant = mechanism.Accountant
+)
+
+// NewAccountant returns an accountant with the given total epsilon
+// budget.
+var NewAccountant = mechanism.NewAccountant
+
+// ErrBudgetExhausted reports a refused release after the privacy budget
+// is spent.
+var ErrBudgetExhausted = mechanism.ErrBudgetExhausted

@@ -1,0 +1,126 @@
+package dphsrc_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/dphsrc/dphsrc"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface the way a
+// downstream user would: generate a Table-I workload, run the auction,
+// run a sensing campaign, compare against the exact optimum, and
+// measure privacy leakage.
+func TestFacadeEndToEnd(t *testing.T) {
+	seeder := dphsrc.NewSeeder(2024)
+	r := seeder.NewRand()
+
+	params := dphsrc.SettingI(80)
+	inst, err := params.Generate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auction, err := dphsrc.New(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := auction.Run(r)
+	if len(out.Winners) == 0 || out.Price <= 0 {
+		t.Fatalf("degenerate outcome: %+v", out)
+	}
+
+	campaign, err := dphsrc.RunCampaign(auction, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaign.ErrorRate > 0.5 {
+		t.Errorf("campaign error rate %.3f implausibly high", campaign.ErrorRate)
+	}
+
+	// Privacy: adjacent profile over the same support.
+	adj := inst.Clone()
+	adj.Workers[0].Bid = inst.CMin
+	adjAuction, err := dphsrc.New(adj, dphsrc.WithPriceSet(auction.SupportPrices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := dphsrc.New(inst, dphsrc.WithPriceSet(auction.SupportPrices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak, err := dphsrc.MeasureLeakage(base.Mechanism(), adjAuction.Mechanism())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak.MaxLogRatio > inst.Epsilon+1e-9 {
+		t.Errorf("leakage %v exceeds epsilon %v", leak.MaxLogRatio, inst.Epsilon)
+	}
+}
+
+func TestFacadeOptimalOnSmallInstance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	params := dphsrc.SettingI(80).Scaled(0.3)
+	inst, err := params.Generate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auction, err := dphsrc.New(inst)
+	if errors.Is(err, dphsrc.ErrInfeasible) {
+		t.Skip("instance infeasible at this seed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := dphsrc.Optimal(inst, dphsrc.OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Feasible {
+		t.Fatal("optimal disagrees on feasibility")
+	}
+	if opt.TotalPayment > auction.ExpectedPayment()+1e-6 {
+		t.Errorf("R_OPT %v above DP-hSRC expected payment %v", opt.TotalPayment, auction.ExpectedPayment())
+	}
+}
+
+func TestFacadeBaselineRule(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	inst, err := dphsrc.SettingII(25).Generate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := dphsrc.New(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := dphsrc.New(inst, dphsrc.WithRule(dphsrc.RuleStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Rule() != dphsrc.RuleGreedy || baseline.Rule() != dphsrc.RuleStatic {
+		t.Error("rules not propagated")
+	}
+}
+
+func TestFacadeTruthDiscovery(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	truth := dphsrc.TrueLabels(r, 50)
+	bundles := [][]int{make([]int, 50)}
+	skills := [][]float64{make([]float64, 50)}
+	for j := 0; j < 50; j++ {
+		bundles[0][j] = j
+		skills[0][j] = 0.9
+	}
+	reports, err := dphsrc.Collect(r, truth, []int{0}, bundles, skills)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dphsrc.EstimateSkills(reports, 1, 50, dphsrc.EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accuracy) != 1 {
+		t.Fatalf("accuracy rows %d", len(res.Accuracy))
+	}
+}

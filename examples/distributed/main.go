@@ -1,0 +1,165 @@
+// Distributed: runs a real auction round over TCP inside one process —
+// a platform daemon plus a crowd of worker clients on loopback —
+// exercising the full wire protocol (announce, sealed bids, winner
+// notification, label collection, settlement). The same binaries are
+// available standalone as cmd/mcs-platform and cmd/mcs-worker.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/dphsrc/dphsrc"
+)
+
+const (
+	numTasks   = 6
+	numWorkers = 10
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	// Shared simulated world: a hidden ground truth and each worker's
+	// true sensing accuracy. The platform's skill store reflects the
+	// true accuracies, as if learned from past rounds.
+	worldRand := rand.New(rand.NewSource(11))
+	truth := dphsrc.TrueLabels(worldRand, numTasks)
+	accuracies := make(map[string]float64, numWorkers)
+	for i := 0; i < numWorkers; i++ {
+		accuracies[workerName(i)] = 0.8 + 0.15*worldRand.Float64()
+	}
+
+	thresholds := make([]float64, numTasks)
+	for j := range thresholds {
+		thresholds[j] = 0.25
+	}
+	platform, err := dphsrc.NewPlatform(dphsrc.PlatformConfig{
+		NumTasks:   numTasks,
+		Thresholds: thresholds,
+		Epsilon:    0.5,
+		CMin:       5,
+		CMax:       40,
+		PriceGrid:  dphsrc.PriceGridRange(8, 40, 0.5),
+		Skills: func(workerID string, n int) []float64 {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = accuracies[workerID]
+			}
+			return row
+		},
+		BidWindow:  5 * time.Second,
+		MinWorkers: numWorkers,
+		Seed:       3,
+		Logger:     log.New(os.Stderr, "platform ", 0),
+	})
+	if err != nil {
+		log.Fatalf("platform: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type platformResult struct {
+		report dphsrc.RoundReport
+		err    error
+	}
+	platformCh := make(chan platformResult, 1)
+	go func() {
+		rep, err := platform.RunRound(ctx, ln)
+		platformCh <- platformResult{rep, err}
+	}()
+
+	// Launch the crowd.
+	var wg sync.WaitGroup
+	workerReports := make([]dphsrc.WorkerReport, numWorkers)
+	for i := 0; i < numWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := workerName(i)
+			obs := rand.New(rand.NewSource(int64(100 + i)))
+			acc := accuracies[name]
+			report, err := dphsrc.Participate(ctx, ln.Addr().String(), dphsrc.WorkerConfig{
+				ID:     name,
+				Bundle: bundleFor(i),
+				Cost:   6 + 2*float64(i%5),
+				Labels: func(task int) dphsrc.Label {
+					l := truth[task]
+					if obs.Float64() >= acc {
+						l = -l
+					}
+					return l
+				},
+			})
+			if err != nil {
+				log.Printf("%s: %v", name, err)
+				return
+			}
+			workerReports[i] = report
+		}(i)
+	}
+	wg.Wait()
+	res := <-platformCh
+	if res.err != nil {
+		log.Fatalf("round failed: %v", res.err)
+	}
+
+	fmt.Printf("\nround complete: %d bidders, price %.2f, %d winners, total payment %.2f\n",
+		res.report.Bidders, res.report.Outcome.Price,
+		len(res.report.Outcome.Winners), res.report.Outcome.TotalPayment)
+	correct := 0
+	for j, l := range res.report.Aggregated {
+		if l == truth[j] {
+			correct++
+		}
+	}
+	fmt.Printf("platform's aggregated labels: %d/%d correct\n", correct, numTasks)
+	for i, wr := range workerReports {
+		status := "lost"
+		if wr.Won {
+			status = fmt.Sprintf("won, paid %.2f (utility %.2f)", wr.Payment, wr.Utility)
+		}
+		fmt.Printf("  %s: %s\n", workerName(i), status)
+	}
+}
+
+// workerName labels workers deterministically.
+func workerName(i int) string { return fmt.Sprintf("worker-%02d", i) }
+
+// bundleFor gives worker i an overlapping window of tasks.
+func bundleFor(i int) []int {
+	var bundle []int
+	for s := 0; s < 4; s++ {
+		bundle = append(bundle, (i+s)%numTasks)
+	}
+	return dedupeSorted(bundle)
+}
+
+// dedupeSorted sorts and uniquifies a small slice.
+func dedupeSorted(xs []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k] < out[k-1]; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+// Geotagging: the pothole-tagging scenario that motivates the paper's
+// introduction. Road segments are binary classification tasks ("does
+// this segment have a pothole?"); drivers bid on the segments along
+// their commutes. The example runs the full MCS lifecycle:
+//
+//  1. a warm-up round with gold tasks to bootstrap the platform's skill
+//     records via EM truth discovery (Section III-A's ground-truth-free
+//     skill estimation);
+//  2. the DP-hSRC auction over the estimated skills;
+//  3. sensing, Lemma-1 weighted aggregation, and accuracy measurement
+//     against the (hidden) ground truth, compared with majority vote.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"github.com/dphsrc/dphsrc"
+)
+
+const (
+	numSegments = 40  // road segments to tag
+	numDrivers  = 120 // participating drivers
+)
+
+func main() {
+	seeder := dphsrc.NewSeeder(7)
+	r := seeder.NewRand()
+
+	// Hidden ground truth: which segments actually have potholes, and
+	// each driver's true (unknown to the platform) sensing accuracy.
+	truth := dphsrc.TrueLabels(r, numSegments)
+	trueAcc := make([]float64, numDrivers)
+	bundles := make([][]int, numDrivers)
+	trueSkills := make([][]float64, numDrivers)
+	for i := range trueAcc {
+		trueAcc[i] = 0.55 + 0.4*r.Float64()
+		bundles[i] = commuteSegments(r)
+		row := make([]float64, numSegments)
+		for j := range row {
+			row[j] = trueAcc[i]
+		}
+		trueSkills[i] = row
+	}
+
+	// Phase 1: warm-up labeling round to estimate driver skill without
+	// ground truth. Every driver labels her commute once; the platform
+	// runs EM truth discovery on the pooled reports.
+	all := make([]int, numDrivers)
+	for i := range all {
+		all[i] = i
+	}
+	warmup, err := dphsrc.Collect(r, truth, all, bundles, trueSkills)
+	if err != nil {
+		log.Fatalf("warm-up sensing: %v", err)
+	}
+	em, err := dphsrc.EstimateSkills(warmup, numDrivers, numSegments, dphsrc.EMOptions{})
+	if err != nil {
+		log.Fatalf("truth discovery: %v", err)
+	}
+	estSkills, err := dphsrc.SkillMatrix(em.Accuracy, bundles, numSegments)
+	if err != nil {
+		log.Fatalf("skill matrix: %v", err)
+	}
+	fmt.Printf("warm-up: EM converged=%v after %d iterations\n", em.Converged, em.Iterations)
+	fmt.Printf("skill estimation error (mean abs): %.3f\n", meanAbsDiff(em.Accuracy, trueAcc))
+
+	// Phase 2: the DP-hSRC auction over the estimated skills. Drivers'
+	// costs reflect commute length (1 currency unit per segment plus a
+	// personal base cost).
+	inst := dphsrc.Instance{
+		NumTasks:   numSegments,
+		Thresholds: thresholds(0.15),
+		Workers:    make([]dphsrc.Worker, numDrivers),
+		Skills:     estSkills,
+		Epsilon:    0.1,
+		CMin:       5,
+		CMax:       60,
+		PriceGrid:  dphsrc.PriceGridRange(20, 60, 0.5),
+	}
+	for i := range inst.Workers {
+		cost := 5 + float64(len(bundles[i])) + 10*r.Float64()
+		if cost > 60 {
+			cost = 60
+		}
+		inst.Workers[i] = dphsrc.Worker{
+			ID:     fmt.Sprintf("driver-%03d", i),
+			Bundle: bundles[i],
+			Bid:    float64(int(cost*10)) / 10, // truthful, on the cost grid
+		}
+	}
+	auction, err := dphsrc.New(inst)
+	if err != nil {
+		log.Fatalf("auction: %v", err)
+	}
+	outcome := auction.Run(r)
+	fmt.Printf("\nauction: price=%.2f, %d winning drivers, total payment %.2f\n",
+		outcome.Price, len(outcome.Winners), outcome.TotalPayment)
+
+	// Phase 3: winners drive their commutes and tag segments; the
+	// platform aggregates with the weighted rule of Lemma 1 (using its
+	// estimated skills) and with plain majority vote for comparison.
+	reports, err := dphsrc.Collect(r, truth, outcome.Winners, bundles, trueSkills)
+	if err != nil {
+		log.Fatalf("sensing: %v", err)
+	}
+	weighted, err := dphsrc.WeightedAggregate(reports, estSkills, numSegments)
+	if err != nil {
+		log.Fatalf("aggregation: %v", err)
+	}
+	majority, err := dphsrc.MajorityVote(reports, numSegments)
+	if err != nil {
+		log.Fatalf("majority vote: %v", err)
+	}
+	wErr, _ := dphsrc.ErrorRate(weighted, truth)
+	mErr, _ := dphsrc.ErrorRate(majority, truth)
+	fmt.Printf("\naggregation error: weighted (Lemma 1) %.3f vs majority vote %.3f\n", wErr, mErr)
+	fmt.Printf("per-task error budget was delta=%.2f on every segment\n", 0.15)
+
+	tagged := 0
+	for j, l := range weighted {
+		if l == dphsrc.Positive && truth[j] == dphsrc.Positive {
+			tagged++
+		}
+	}
+	fmt.Printf("correctly confirmed potholes: %d of %d\n", tagged, count(truth, dphsrc.Positive))
+}
+
+// commuteSegments draws a contiguous-ish commute of 8-16 segments.
+func commuteSegments(r *rand.Rand) []int {
+	length := 8 + r.Intn(9)
+	start := r.Intn(numSegments)
+	seen := make(map[int]bool)
+	var segs []int
+	for s := 0; s < length; s++ {
+		seg := (start + s) % numSegments
+		if !seen[seg] {
+			seen[seg] = true
+			segs = append(segs, seg)
+		}
+	}
+	sort.Ints(segs)
+	return segs
+}
+
+// thresholds builds a uniform delta vector.
+func thresholds(delta float64) []float64 {
+	out := make([]float64, numSegments)
+	for j := range out {
+		out[j] = delta
+	}
+	return out
+}
+
+// meanAbsDiff averages |a-b| elementwise.
+func meanAbsDiff(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(a))
+}
+
+// count tallies labels equal to want.
+func count(labels []dphsrc.Label, want dphsrc.Label) int {
+	n := 0
+	for _, l := range labels {
+		if l == want {
+			n++
+		}
+	}
+	return n
+}

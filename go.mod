@@ -1,0 +1,3 @@
+module github.com/dphsrc/dphsrc
+
+go 1.22

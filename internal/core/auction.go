@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+)
+
+// SelectionRule chooses how the winner set for a candidate price is
+// computed.
+type SelectionRule int
+
+const (
+	// RuleGreedy is Algorithm 1's marginal-gain greedy (lazy-evaluated;
+	// identical output to the naive scan).
+	RuleGreedy SelectionRule = iota
+	// RuleGreedyNaive is the literal per-selection argmax scan of
+	// Algorithm 1; used for ablation benches and cross-checks.
+	RuleGreedyNaive
+	// RuleStatic is the baseline auction of Section VII-A: descending
+	// static total quality.
+	RuleStatic
+)
+
+// String implements fmt.Stringer.
+func (r SelectionRule) String() string {
+	switch r {
+	case RuleGreedy:
+		return "greedy"
+	case RuleGreedyNaive:
+		return "greedy-naive"
+	case RuleStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("SelectionRule(%d)", int(r))
+	}
+}
+
+// Option configures an Auction.
+type Option func(*config)
+
+type config struct {
+	rule        SelectionRule
+	priceSet    []float64
+	hasPriceSet bool
+	parallelism int
+}
+
+// WithRule selects the winner-set computation rule. The default is
+// RuleGreedy (the paper's mechanism).
+func WithRule(r SelectionRule) Option {
+	return func(c *config) { c.rule = r }
+}
+
+// WithPriceSet fixes the mechanism's support to the given ascending
+// price set P instead of deriving the feasible subset of the instance's
+// grid. Algorithm 1 takes P as an explicit input; fixing it across
+// adjacent bid profiles is what makes the differential-privacy
+// guarantee hold exactly (the support must not itself depend on a
+// single worker's bid). Prices in P that turn out infeasible for the
+// current bids are kept in the support with the maximal penalty payment
+// p*N so the mechanism remains total; see PriceInfo.Feasible.
+func WithPriceSet(p []float64) Option {
+	return func(c *config) {
+		c.priceSet = append([]float64(nil), p...)
+		c.hasPriceSet = true
+	}
+}
+
+// WithParallelism computes the winner sets for distinct candidate
+// counts on up to n goroutines. The winner set for each count is a pure
+// function of the instance, so results are identical to the sequential
+// default; only construction wall-clock changes. Values below 2 keep
+// the sequential path.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// PriceInfo describes the mechanism's state at one support price.
+type PriceInfo struct {
+	// Price is the candidate single clearing price x.
+	Price float64
+	// Winners is the winner set S(x) (indices into Instance.Workers),
+	// in selection order. Nil when infeasible.
+	Winners []int
+	// Payment is the total payment the platform would make at this
+	// price: Price*len(Winners), or the penalty Price*N when the price
+	// is infeasible for the current bids.
+	Payment float64
+	// Feasible reports whether the workers bidding at most Price can
+	// cover every task's error-bound constraint.
+	Feasible bool
+}
+
+// Auction is a fully precomputed DP-hSRC auction over one instance: the
+// winner set and total payment for every support price, and the
+// exponential mechanism over prices. Construct with New; an Auction is
+// immutable afterwards and safe for concurrent use.
+type Auction struct {
+	inst   Instance
+	rule   SelectionRule
+	prices []PriceInfo
+	mech   *mechanism.Exponential
+	// gainEvals counts marginal-gain evaluations performed during
+	// construction; exposed for the lazy-vs-naive ablation.
+	gainEvals int
+}
+
+// Outcome is the sampled result of one run of the auction.
+type Outcome struct {
+	// Price is the sampled clearing price p.
+	Price float64
+	// Winners are the indices of the winning workers; each is paid
+	// exactly Price (single-price payment, Section IV).
+	Winners []int
+	// TotalPayment is Price * len(Winners).
+	TotalPayment float64
+	// Feasible reports whether the sampled price admitted a covering
+	// winner set. With a support built by New from the instance's own
+	// grid this is always true.
+	Feasible bool
+}
+
+// Payments returns the per-worker payment vector (the paper's p): the
+// clearing price for winners and zero for losers.
+func (o Outcome) Payments(numWorkers int) []float64 {
+	pay := make([]float64, numWorkers)
+	for _, w := range o.Winners {
+		pay[w] = o.Price
+	}
+	return pay
+}
+
+// New validates the instance, computes the winner set for every support
+// price (sharing work across prices between consecutive bid values,
+// Algorithm 1 lines 14-15) and prepares the exponential mechanism over
+// prices. It returns ErrInfeasible if no price in the instance grid is
+// feasible and no explicit price set was provided.
+func New(inst Instance, opts ...Option) (*Auction, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := config{rule: RuleGreedy}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	a := &Auction{inst: inst.Clone(), rule: cfg.rule}
+
+	cp := newCoverProblem(&a.inst)
+	sorted := sortedByBid(a.inst.Workers)
+	bids := make([]float64, len(sorted))
+	for k, i := range sorted {
+		bids[k] = a.inst.Workers[i].Bid
+	}
+
+	support := a.inst.PriceGrid
+	if cfg.hasPriceSet {
+		support = cfg.priceSet
+		if err := validateSupport(support); err != nil {
+			return nil, err
+		}
+	}
+
+	// Winner sets depend on the price only through the candidate count
+	// (how many sorted bids are <= price), so compute once per distinct
+	// count. This is the interval-sharing optimization of Algorithm 1
+	// lines 14-15 that removes the dependency on |P|. Distinct counts
+	// are independent pure computations, so WithParallelism fans them
+	// out across goroutines.
+	countOf := make([]int, len(support))
+	var distinct []int
+	seen := make(map[int]bool)
+	for pi, x := range support {
+		count := sort.SearchFloat64s(bids, x+priceEps)
+		countOf[pi] = count
+		if !seen[count] {
+			seen[count] = true
+			distinct = append(distinct, count)
+		}
+	}
+	cache := a.coverByCount(cp, sorted, distinct, cfg.parallelism)
+
+	n := len(a.inst.Workers)
+	a.prices = make([]PriceInfo, 0, len(support))
+	anyFeasible := false
+	for pi, x := range support {
+		c := cache[countOf[pi]]
+		info := PriceInfo{Price: x, Winners: c.winners, Feasible: c.feasible}
+		if c.feasible {
+			info.Payment = x * float64(len(c.winners))
+			anyFeasible = true
+		} else {
+			info.Payment = x * float64(n)
+		}
+		a.prices = append(a.prices, info)
+	}
+
+	if !cfg.hasPriceSet {
+		// Default support: the feasible subset of the grid, exactly the
+		// paper's price set P.
+		feasibleOnly := a.prices[:0:0]
+		for _, info := range a.prices {
+			if info.Feasible {
+				feasibleOnly = append(feasibleOnly, info)
+			}
+		}
+		a.prices = feasibleOnly
+	}
+	if len(a.prices) == 0 || (!anyFeasible && !cfg.hasPriceSet) {
+		return nil, ErrInfeasible
+	}
+
+	logW := mechanism.PaymentLogWeights(a.paymentVector(), a.inst.Epsilon, n, a.inst.CMax)
+	mech, err := mechanism.NewExponential(logW)
+	if err != nil {
+		return nil, fmt.Errorf("core: building exponential mechanism: %w", err)
+	}
+	a.mech = mech
+	a.gainEvals = int(cp.evals.Load())
+	return a, nil
+}
+
+// priceEps is the tolerance used when comparing bids to grid prices, so
+// that a bid exactly equal to a grid price is counted as a candidate.
+const priceEps = 1e-9
+
+// coverResult caches the winner set for one candidate count.
+type coverResult struct {
+	winners  []int
+	feasible bool
+}
+
+// coverByCount computes the winner set for every distinct candidate
+// count, optionally in parallel.
+func (a *Auction) coverByCount(cp *coverProblem, sorted []int, distinct []int, parallelism int) map[int]coverResult {
+	results := make([]coverResult, len(distinct))
+	compute := func(k int) {
+		cands := sorted[:distinct[k]]
+		if cp.feasible(cands) {
+			winners, feas := a.cover(cp, cands)
+			results[k] = coverResult{winners: winners, feasible: feas}
+		}
+	}
+	if parallelism < 2 || len(distinct) < 2 {
+		for k := range distinct {
+			compute(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range work {
+					compute(k)
+				}
+			}()
+		}
+		for k := range distinct {
+			work <- k
+		}
+		close(work)
+		wg.Wait()
+	}
+	out := make(map[int]coverResult, len(distinct))
+	for k, count := range distinct {
+		out[count] = results[k]
+	}
+	return out
+}
+
+// cover dispatches to the configured selection rule.
+func (a *Auction) cover(cp *coverProblem, cands []int) ([]int, bool) {
+	switch a.rule {
+	case RuleGreedyNaive:
+		return cp.greedyCoverNaive(cands)
+	case RuleStatic:
+		return cp.staticCover(cands)
+	default:
+		return cp.greedyCover(cands)
+	}
+}
+
+// sortedByBid returns worker indices sorted ascending by bid, breaking
+// ties by index for determinism (Algorithm 1 line 1).
+func sortedByBid(workers []Worker) []int {
+	idx := make([]int, len(workers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return workers[idx[a]].Bid < workers[idx[b]].Bid
+	})
+	return idx
+}
+
+func validateSupport(p []float64) error {
+	if len(p) == 0 {
+		return ErrEmptySupport
+	}
+	prev := -1.0
+	for _, x := range p {
+		if x <= prev || x <= 0 {
+			return fmt.Errorf("%w: support value %v after %v", ErrBadPriceGrid, x, prev)
+		}
+		prev = x
+	}
+	return nil
+}
+
+// Run samples a clearing price from the exponential mechanism
+// (Algorithm 1 line 16) and returns the corresponding outcome.
+func (a *Auction) Run(r *rand.Rand) Outcome {
+	idx := a.mech.Sample(r)
+	return a.outcomeAt(idx)
+}
+
+// outcomeAt materializes the outcome for support index idx.
+func (a *Auction) outcomeAt(idx int) Outcome {
+	info := a.prices[idx]
+	winners := append([]int(nil), info.Winners...)
+	return Outcome{
+		Price:        info.Price,
+		Winners:      winners,
+		TotalPayment: info.Payment,
+		Feasible:     info.Feasible,
+	}
+}
+
+// Support returns the mechanism's price support P with per-price winner
+// sets and payments. The returned slice is shared; callers must not
+// mutate it.
+func (a *Auction) Support() []PriceInfo { return a.prices }
+
+// PMF returns the exact output distribution over the support prices.
+// Index i of the returned slice corresponds to Support()[i].
+func (a *Auction) PMF() []float64 { return a.mech.PMF() }
+
+// ExpectedPayment returns the exact expected total payment
+// E[x*|S(x)|] under the mechanism's output distribution.
+func (a *Auction) ExpectedPayment() float64 {
+	return a.mech.ExpectedScore(a.paymentVector())
+}
+
+// paymentVector returns the per-price total payments.
+func (a *Auction) paymentVector() []float64 {
+	pay := make([]float64, len(a.prices))
+	for i, info := range a.prices {
+		pay[i] = info.Payment
+	}
+	return pay
+}
+
+// ExpectedUtility returns the exact expected utility of the given
+// worker assuming her true cost is trueCost: sum over support prices of
+// P(x) * (x - trueCost) * [worker wins at x]. This makes Theorem 3's
+// approximate-truthfulness bound directly checkable.
+func (a *Auction) ExpectedUtility(worker int, trueCost float64) (float64, error) {
+	if worker < 0 || worker >= len(a.inst.Workers) {
+		return 0, fmt.Errorf("%w: %d", ErrWorkerIndex, worker)
+	}
+	pmf := a.PMF()
+	eu := 0.0
+	for i, info := range a.prices {
+		if !info.Feasible {
+			continue
+		}
+		for _, w := range info.Winners {
+			if w == worker {
+				eu += pmf[i] * (info.Price - trueCost)
+				break
+			}
+		}
+	}
+	return eu, nil
+}
+
+// WinProbability returns the probability that the given worker is in
+// the winner set under the mechanism's output distribution.
+func (a *Auction) WinProbability(worker int) (float64, error) {
+	if worker < 0 || worker >= len(a.inst.Workers) {
+		return 0, fmt.Errorf("%w: %d", ErrWorkerIndex, worker)
+	}
+	pmf := a.PMF()
+	p := 0.0
+	for i, info := range a.prices {
+		for _, w := range info.Winners {
+			if w == worker {
+				p += pmf[i]
+				break
+			}
+		}
+	}
+	return p, nil
+}
+
+// Mechanism exposes the underlying exponential mechanism for privacy
+// analysis (leakage measurement across adjacent bid profiles).
+func (a *Auction) Mechanism() *mechanism.Exponential { return a.mech }
+
+// Instance returns a copy of the auction's instance.
+func (a *Auction) Instance() Instance { return a.inst.Clone() }
+
+// Rule returns the configured selection rule.
+func (a *Auction) Rule() SelectionRule { return a.rule }
+
+// GainEvaluations returns the number of marginal-gain evaluations
+// accounted during construction (ablation instrumentation; zero for
+// rules that do not track it).
+func (a *Auction) GainEvaluations() int { return a.gainEvals }
+
+// SupportPrices returns just the support price values, in order.
+func (a *Auction) SupportPrices() []float64 {
+	out := make([]float64, len(a.prices))
+	for i, info := range a.prices {
+		out[i] = info.Price
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+	"sync/atomic"
+)
+
+// residualTol is the tolerance below which a residual demand is
+// considered met; it absorbs floating-point error in the repeated
+// subtraction of the inner loop (Algorithm 1 lines 8-13).
+const residualTol = 1e-9
+
+// coverProblem is the prepared view of an instance that the winner-set
+// routines operate on: per-worker bundles with their quality
+// contributions laid out contiguously for tight gain loops.
+type coverProblem struct {
+	numTasks int
+	demands  []float64 // Q_j
+	bundles  [][]int   // task indices per worker
+	quals    [][]float64
+	// totalQual[i] = sum_j q_ij, the static score the baseline auction
+	// sorts by.
+	totalQual []float64
+	// evals counts marginal-gain evaluations, instrumenting the
+	// lazy-vs-naive greedy ablation; atomic because winner sets for
+	// distinct prices may be computed concurrently.
+	evals atomic.Int64
+}
+
+// newCoverProblem precomputes the cover view from a validated instance.
+func newCoverProblem(inst *Instance) *coverProblem {
+	n := len(inst.Workers)
+	cp := &coverProblem{
+		numTasks:  inst.NumTasks,
+		demands:   inst.Demands(),
+		bundles:   make([][]int, n),
+		quals:     make([][]float64, n),
+		totalQual: make([]float64, n),
+	}
+	for i, w := range inst.Workers {
+		cp.bundles[i] = w.Bundle
+		qs := make([]float64, len(w.Bundle))
+		total := 0.0
+		for k, j := range w.Bundle {
+			qs[k] = qualityOf(inst.Skills[i][j])
+			total += qs[k]
+		}
+		cp.quals[i] = qs
+		cp.totalQual[i] = total
+	}
+	return cp
+}
+
+// gain returns the marginal coverage sum_j min(residual_j, q_ij) worker
+// i would contribute given the current residual demands (Algorithm 1
+// line 9).
+func (cp *coverProblem) gain(i int, residual []float64) float64 {
+	cp.evals.Add(1)
+	g := 0.0
+	bundle := cp.bundles[i]
+	quals := cp.quals[i]
+	for k, j := range bundle {
+		r := residual[j]
+		if r <= 0 {
+			continue
+		}
+		q := quals[k]
+		if q < r {
+			g += q
+		} else {
+			g += r
+		}
+	}
+	return g
+}
+
+// apply commits worker i's contribution: residual_j -= min(residual_j,
+// q_ij) (Algorithm 1 lines 12-13). It returns the total coverage
+// removed.
+func (cp *coverProblem) apply(i int, residual []float64) float64 {
+	removed := 0.0
+	bundle := cp.bundles[i]
+	quals := cp.quals[i]
+	for k, j := range bundle {
+		r := residual[j]
+		if r <= 0 {
+			continue
+		}
+		q := quals[k]
+		if q < r {
+			residual[j] = r - q
+			removed += q
+		} else {
+			residual[j] = 0
+			removed += r
+		}
+	}
+	return removed
+}
+
+// feasible reports whether the candidate set can cover all demands at
+// all, i.e. whether taking every candidate satisfies every task's
+// error-bound constraint. This is exactly the paper's notion of a
+// feasible price (Section IV).
+func (cp *coverProblem) feasible(candidates []int) bool {
+	cover := make([]float64, cp.numTasks)
+	for _, i := range candidates {
+		for k, j := range cp.bundles[i] {
+			cover[j] += cp.quals[i][k]
+		}
+	}
+	for j, c := range cover {
+		if c < cp.demands[j]-residualTol {
+			return false
+		}
+	}
+	return true
+}
+
+// gainItem is a heap entry for the lazy-greedy selection.
+type gainItem struct {
+	worker int
+	// rank is the candidate's position in the bid-sorted candidate
+	// list; ties on gain break toward the smaller rank, exactly
+	// matching the first-max behaviour of the naive argmax scan.
+	rank int
+	gain float64
+	// round records when the gain was last evaluated; a popped entry
+	// with a stale round is re-evaluated before being trusted.
+	round int
+}
+
+// gainHeap is a max-heap on gain with deterministic tie-breaking on the
+// earlier candidate rank (matching the first-max scan of a naive
+// argmax over the bid-sorted candidate list).
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(a, b int) bool {
+	if h[a].gain != h[b].gain {
+		return h[a].gain > h[b].gain
+	}
+	return h[a].rank < h[b].rank
+}
+func (h gainHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// greedyCover runs the inner loop of Algorithm 1: repeatedly select the
+// candidate with the largest marginal coverage gain until every task's
+// residual demand reaches zero. It returns the selected workers in
+// selection order and whether the demands were fully covered.
+//
+// The implementation uses lazy (CELF-style) evaluation: the marginal
+// gain sum_j min(residual_j, q_ij) is submodular in the selected set,
+// so a candidate's cached gain can only shrink as the residual shrinks.
+// A stale heap top is therefore re-evaluated and pushed back; when a
+// fresh evaluation stays on top it is exactly the argmax the naive scan
+// would have picked. greedyCoverNaive below is the direct transcription
+// used to cross-check this in tests and ablation benches.
+func (cp *coverProblem) greedyCover(candidates []int) ([]int, bool) {
+	residual := append([]float64(nil), cp.demands...)
+	remaining := 0.0
+	for _, r := range residual {
+		remaining += r
+	}
+	if remaining <= residualTol {
+		return nil, true
+	}
+
+	h := make(gainHeap, 0, len(candidates))
+	for rank, i := range candidates {
+		g := cp.gain(i, residual)
+		if g > 0 {
+			h = append(h, gainItem{worker: i, rank: rank, gain: g, round: 0})
+		}
+	}
+	heap.Init(&h)
+
+	var selected []int
+	round := 0
+	for remaining > residualTol && h.Len() > 0 {
+		top := h[0]
+		if top.round != round {
+			// Stale gain: re-evaluate against the current residual and
+			// reposition. Submodularity guarantees the fresh gain is
+			// not larger than the cached one.
+			fresh := cp.gain(top.worker, residual)
+			if fresh <= 0 {
+				heap.Pop(&h)
+				continue
+			}
+			h[0].gain = fresh
+			h[0].round = round
+			heap.Fix(&h, 0)
+			continue
+		}
+		heap.Pop(&h)
+		removed := cp.apply(top.worker, residual)
+		remaining -= removed
+		selected = append(selected, top.worker)
+		round++
+	}
+	return selected, remaining <= residualTol
+}
+
+// greedyCoverNaive is the literal transcription of Algorithm 1 lines
+// 8-13: a full argmax scan over the remaining candidates per selection.
+// It must produce exactly the same winner set as greedyCover; the lazy
+// version exists purely to cut the number of gain evaluations.
+func (cp *coverProblem) greedyCoverNaive(candidates []int) ([]int, bool) {
+	residual := append([]float64(nil), cp.demands...)
+	remaining := 0.0
+	for _, r := range residual {
+		remaining += r
+	}
+	active := append([]int(nil), candidates...)
+	var selected []int
+	for remaining > residualTol {
+		bestIdx := -1
+		bestGain := 0.0
+		for k, i := range active {
+			g := cp.gain(i, residual)
+			if g > bestGain {
+				bestGain = g
+				bestIdx = k
+			}
+		}
+		if bestIdx < 0 {
+			return selected, false
+		}
+		w := active[bestIdx]
+		active = append(active[:bestIdx], active[bestIdx+1:]...)
+		remaining -= cp.apply(w, residual)
+		selected = append(selected, w)
+	}
+	return selected, true
+}
+
+// staticCover implements the baseline auction of Section VII-A: select
+// candidates in descending order of their static total quality
+// sum_j q_ij (ignoring what is already covered) until every task's
+// error-bound constraint is satisfied.
+func (cp *coverProblem) staticCover(candidates []int) ([]int, bool) {
+	order := append([]int(nil), candidates...)
+	sort.SliceStable(order, func(a, b int) bool {
+		if cp.totalQual[order[a]] != cp.totalQual[order[b]] {
+			return cp.totalQual[order[a]] > cp.totalQual[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	residual := append([]float64(nil), cp.demands...)
+	remaining := 0.0
+	for _, r := range residual {
+		remaining += r
+	}
+	var selected []int
+	for _, i := range order {
+		if remaining <= residualTol {
+			break
+		}
+		removed := cp.apply(i, residual)
+		if removed <= 0 {
+			continue
+		}
+		remaining -= removed
+		selected = append(selected, i)
+	}
+	return selected, remaining <= residualTol
+}

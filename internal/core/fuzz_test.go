@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzValidate drives instance validation with adversarial numeric
+// inputs: it must classify, never panic, and never accept an instance
+// that then breaks New.
+func FuzzValidate(f *testing.F) {
+	f.Add(int16(3), int16(2), 0.5, 10.0, 60.0, 0.3, 0.9)
+	f.Add(int16(0), int16(0), 0.0, -1.0, -2.0, 0.0, 2.0)
+	f.Add(int16(1), int16(1), math.Inf(1), 0.0, 0.0, 1.0, 0.5)
+	f.Add(int16(5), int16(3), 0.1, 10.0, 10.0, 0.999, 0.0)
+	f.Fuzz(func(t *testing.T, nRaw, kRaw int16, eps, cmin, cmax, delta, theta float64) {
+		n := int(nRaw) % 8
+		k := int(kRaw) % 6
+		inst := Instance{
+			NumTasks: k,
+			Epsilon:  eps,
+			CMin:     cmin,
+			CMax:     cmax,
+		}
+		for j := 0; j < k; j++ {
+			inst.Thresholds = append(inst.Thresholds, delta)
+		}
+		for i := 0; i < n; i++ {
+			bundle := []int{i % maxInt(k, 1)}
+			row := make([]float64, k)
+			for j := range row {
+				row[j] = theta
+			}
+			inst.Workers = append(inst.Workers, Worker{Bundle: bundle, Bid: cmin})
+			inst.Skills = append(inst.Skills, row)
+		}
+		inst.PriceGrid = []float64{1, 2, 3}
+		if cmax > cmin && cmax < math.Inf(1) {
+			inst.PriceGrid = []float64{cmax}
+		}
+
+		err := inst.Validate()
+		if err != nil {
+			return
+		}
+		// Anything validation accepts must be safe to run end to end.
+		if _, err := New(inst); err != nil && !errors.Is(err, ErrInfeasible) {
+			// New may legitimately find the instance infeasible, but
+			// must not fail any other way after Validate passed.
+			t.Fatalf("validated instance broke New: %v", err)
+		}
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestParallelismMatchesSequential: construction with a worker pool
+// must produce byte-identical support, winner sets and PMFs.
+func TestParallelismMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	checked := 0
+	for trial := 0; trial < 120 && checked < 12; trial++ {
+		inst := feasibleRandomInstance(r)
+		seq, errSeq := New(inst)
+		par, errPar := New(inst, WithParallelism(4))
+		if (errSeq == nil) != (errPar == nil) {
+			t.Fatalf("feasibility disagreement: %v vs %v", errSeq, errPar)
+		}
+		if errSeq != nil {
+			if !errors.Is(errSeq, ErrInfeasible) {
+				t.Fatal(errSeq)
+			}
+			continue
+		}
+		ss, ps := seq.Support(), par.Support()
+		if len(ss) != len(ps) {
+			t.Fatalf("support sizes differ: %d vs %d", len(ss), len(ps))
+		}
+		for k := range ss {
+			if ss[k].Price != ps[k].Price || ss[k].Payment != ps[k].Payment || len(ss[k].Winners) != len(ps[k].Winners) {
+				t.Fatalf("support diverged at %d: %+v vs %+v", k, ss[k], ps[k])
+			}
+			for i := range ss[k].Winners {
+				if ss[k].Winners[i] != ps[k].Winners[i] {
+					t.Fatalf("winner order diverged at price %v", ss[k].Price)
+				}
+			}
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d feasible instances checked", checked)
+	}
+}
+
+// TestParallelismRunsUnderRace exists to give `go test -race` a
+// concurrent construction to chew on.
+func TestParallelismRunsUnderRace(t *testing.T) {
+	inst := tinyInstance()
+	for i := 0; i < 10; i++ {
+		if _, err := New(inst, WithParallelism(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

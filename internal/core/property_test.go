@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyOutcomeAlwaysVerifies: every outcome the mechanism emits
+// passes VerifyOutcome, across random instances and random draws.
+func TestPropertyOutcomeAlwaysVerifies(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		inst := feasibleRandomInstance(rr)
+		a, err := New(inst)
+		if errors.Is(err, ErrInfeasible) {
+			return true
+		}
+		if err != nil {
+			t.Logf("unexpected error: %v", err)
+			return false
+		}
+		for d := 0; d < 3; d++ {
+			if err := VerifyOutcome(inst, a.Run(rr)); err != nil {
+				t.Logf("verify: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPMFAntiMonotoneInPayment: across any support, a strictly
+// cheaper total payment never has a smaller probability (exponential
+// weights are decreasing in payment).
+func TestPropertyPMFAntiMonotoneInPayment(t *testing.T) {
+	r := rand.New(rand.NewSource(223))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		inst := feasibleRandomInstance(rr)
+		a, err := New(inst)
+		if err != nil {
+			return true
+		}
+		pmf := a.PMF()
+		support := a.Support()
+		for i := range support {
+			for j := range support {
+				if support[i].Payment < support[j].Payment-1e-9 && pmf[i] < pmf[j]-1e-12 {
+					t.Logf("payment %v prob %v vs payment %v prob %v",
+						support[i].Payment, pmf[i], support[j].Payment, pmf[j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWinnerSetMonotoneCandidates: raising the clearing price
+// never makes a feasible price infeasible (candidate sets grow).
+func TestPropertyFeasibilityMonotoneInPrice(t *testing.T) {
+	r := rand.New(rand.NewSource(227))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rr)
+		a, err := New(inst, WithPriceSet(inst.PriceGrid))
+		if err != nil {
+			return true
+		}
+		feasibleSeen := false
+		for _, info := range a.Support() {
+			if info.Feasible {
+				feasibleSeen = true
+			} else if feasibleSeen {
+				t.Logf("price %v infeasible after a feasible cheaper price", info.Price)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGreedyCardinalityMonotone: with more candidates available
+// (higher price), the greedy winner set never needs more workers than
+// the largest-candidate-set cover needed... is NOT a theorem (greedy is
+// not monotone), but the payment at the cheapest feasible price bounds
+// R_greedy below cmax*N. Check the sane global payment bounds instead.
+func TestPropertyPaymentWithinGlobalBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(229))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		inst := feasibleRandomInstance(rr)
+		a, err := New(inst)
+		if err != nil {
+			return true
+		}
+		n := float64(len(inst.Workers))
+		exp := a.ExpectedPayment()
+		if exp <= 0 || exp > inst.CMax*n {
+			t.Logf("expected payment %v outside (0, %v]", exp, inst.CMax*n)
+			return false
+		}
+		for _, info := range a.Support() {
+			if len(info.Winners) == 0 || float64(len(info.Winners)) > n {
+				t.Logf("winner count %d out of range", len(info.Winners))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyOutcomeRejections(t *testing.T) {
+	inst := tinyInstance()
+	a := mustAuction(t, inst)
+	good := a.Run(rand.New(rand.NewSource(1)))
+
+	bad := good
+	bad.Winners = append([]int(nil), good.Winners...)
+	bad.Winners[0] = 99
+	if err := VerifyOutcome(inst, bad); !errors.Is(err, ErrOutcomeWinner) {
+		t.Errorf("invalid index: got %v", err)
+	}
+
+	bad = good
+	bad.Winners = append(append([]int(nil), good.Winners...), good.Winners[0])
+	if err := VerifyOutcome(inst, bad); !errors.Is(err, ErrOutcomeWinner) {
+		t.Errorf("duplicate: got %v", err)
+	}
+
+	bad = good
+	bad.Price = inst.CMin - 1 // everyone's bid now exceeds the price
+	if err := VerifyOutcome(inst, bad); !errors.Is(err, ErrOutcomeIR) {
+		t.Errorf("IR: got %v", err)
+	}
+
+	bad = good
+	bad.Winners = good.Winners[:1]
+	bad.TotalPayment = bad.Price * 1
+	if err := VerifyOutcome(inst, bad); !errors.Is(err, ErrOutcomeCoverage) {
+		t.Errorf("coverage: got %v", err)
+	}
+
+	bad = good
+	bad.TotalPayment = good.TotalPayment + 5
+	if err := VerifyOutcome(inst, bad); !errors.Is(err, ErrOutcomePayment) {
+		t.Errorf("payment: got %v", err)
+	}
+
+	// Infeasible-marked outcomes skip the coverage and payment checks.
+	infeasible := Outcome{Price: good.Price, Winners: nil, Feasible: false}
+	if err := VerifyOutcome(inst, infeasible); err != nil {
+		t.Errorf("infeasible outcome should pass structural checks: %v", err)
+	}
+}

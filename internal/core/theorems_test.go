@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/stats"
+)
+
+// adjacentInstance returns a copy of inst with exactly one worker's bid
+// changed: a fresh price, and with probability 1/2 a fresh bundle.
+func adjacentInstance(inst Instance, r *rand.Rand) (Instance, int) {
+	cp := inst.Clone()
+	i := r.Intn(len(cp.Workers))
+	cp.Workers[i].Bid = inst.CMin + math.Floor(r.Float64()*(inst.CMax-inst.CMin)*10)/10
+	if r.Intn(2) == 0 {
+		k := inst.NumTasks
+		size := 1 + r.Intn(k)
+		seen := make(map[int]bool)
+		var bundle []int
+		for len(bundle) < size {
+			j := r.Intn(k)
+			if !seen[j] {
+				seen[j] = true
+				bundle = append(bundle, j)
+			}
+		}
+		sortIntsTest(bundle)
+		cp.Workers[i].Bundle = bundle
+	}
+	return cp, i
+}
+
+// TestTheorem2DifferentialPrivacy verifies the paper's Theorem 2
+// exactly: for random instances and random single-bid deviations, the
+// exact output PMFs over a fixed price support satisfy
+// max_x |ln P(x) - ln P'(x)| <= epsilon.
+func TestTheorem2DifferentialPrivacy(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 100; trial++ {
+		// Alternate between the stingy generator (mostly infeasible
+		// prices -> penalty-payment path) and the feasible one, so both
+		// code paths carry the DP property.
+		var inst Instance
+		if trial%2 == 0 {
+			inst = randomInstance(r)
+		} else {
+			inst = feasibleRandomInstance(r)
+		}
+		// Algorithm 1 takes the price set P as an exogenous input; fix
+		// it so both adjacent profiles share the support.
+		support := inst.PriceGrid
+		a, err := New(inst, WithPriceSet(support))
+		if err != nil {
+			continue
+		}
+		adj, _ := adjacentInstance(inst, r)
+		b, err := New(adj, WithPriceSet(support))
+		if err != nil {
+			continue
+		}
+		mlr, err := stats.MaxLogRatio(a.PMF(), b.PMF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mlr > inst.Epsilon+1e-9 {
+			t.Fatalf("trial %d: max log ratio %v exceeds epsilon %v", trial, mlr, inst.Epsilon)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d adjacency pairs checked; generator too restrictive", checked)
+	}
+}
+
+// TestTheorem2LeakageBelowEpsilon repeats the check through the
+// leakage meter (Definition 8): KL divergence between adjacent output
+// distributions is bounded by epsilon (since KL <= max log ratio).
+func TestTheorem2LeakageBelowEpsilon(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	checked := 0
+	for trial := 0; trial < 100 && checked < 40; trial++ {
+		inst := feasibleRandomInstance(r)
+		support := inst.PriceGrid
+		a, err := New(inst, WithPriceSet(support))
+		if err != nil {
+			continue
+		}
+		adj, _ := adjacentInstance(inst, r)
+		b, err := New(adj, WithPriceSet(support))
+		if err != nil {
+			continue
+		}
+		leak, err := mechanism.MeasureLeakage(a.Mechanism(), b.Mechanism())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leak.KL > inst.Epsilon+1e-9 {
+			t.Fatalf("trial %d: KL %v exceeds epsilon %v", trial, leak.KL, inst.Epsilon)
+		}
+		if leak.KL > leak.MaxLogRatio+1e-9 {
+			t.Fatalf("KL %v exceeds max log ratio %v", leak.KL, leak.MaxLogRatio)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d pairs checked", checked)
+	}
+}
+
+// TestTheorem3ApproximateTruthfulness verifies the paper's Theorem 3
+// empirically with exact expectations: a worker deviating in her bid
+// price gains at most epsilon*(cmax-cmin) expected utility over
+// truthful bidding.
+func TestTheorem3ApproximateTruthfulness(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	checked := 0
+	for trial := 0; trial < 300 && checked < 60; trial++ {
+		inst := feasibleRandomInstance(r)
+		support := inst.PriceGrid
+		truthful, err := New(inst, WithPriceSet(support))
+		if err != nil {
+			continue
+		}
+		i := r.Intn(len(inst.Workers))
+		trueCost := inst.Workers[i].Bid // truthful bidding: bid == cost
+		uTruthful, err := truthful.ExpectedUtility(i, trueCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Try several price deviations for this worker.
+		for d := 0; d < 5; d++ {
+			dev := inst.Clone()
+			dev.Workers[i].Bid = inst.CMin + math.Floor(r.Float64()*(inst.CMax-inst.CMin)*10)/10
+			devAuction, err := New(dev, WithPriceSet(support))
+			if err != nil {
+				continue
+			}
+			uDev, err := devAuction.ExpectedUtility(i, trueCost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gamma := inst.Epsilon * (inst.CMax - inst.CMin)
+			if uDev > uTruthful+gamma+1e-9 {
+				t.Fatalf("trial %d: deviation utility %v exceeds truthful %v + gamma %v (eps=%v)",
+					trial, uDev, uTruthful, gamma, inst.Epsilon)
+			}
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+// TestTheorem4IndividualRationalityExact verifies that truthful
+// expected utility is non-negative for every worker (Theorem 4), which
+// follows from winners always bidding at most the clearing price.
+func TestTheorem4IndividualRationalityExact(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 30; trial++ {
+		inst := feasibleRandomInstance(r)
+		a, err := New(inst)
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range inst.Workers {
+			u, err := a.ExpectedUtility(i, w.Bid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u < -1e-9 {
+				t.Fatalf("worker %d truthful expected utility %v < 0", i, u)
+			}
+		}
+	}
+}
+
+// TestTheorem5ComplexityScalesPolynomially sanity-checks that doubling
+// the worker count does not blow construction up super-polynomially; it
+// is a smoke guard, not a rigorous complexity proof (the benches cover
+// scaling curves).
+func TestTheorem5ComplexityScalesPolynomially(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check skipped in -short")
+	}
+	r := rand.New(rand.NewSource(113))
+	build := func(n int) {
+		inst := Instance{
+			NumTasks:   10,
+			Thresholds: make([]float64, 10),
+			Workers:    make([]Worker, n),
+			Skills:     make([][]float64, n),
+			Epsilon:    0.1,
+			CMin:       10,
+			CMax:       60,
+			PriceGrid:  PriceGridRange(35, 60, 0.5),
+		}
+		for j := range inst.Thresholds {
+			inst.Thresholds[j] = 0.15
+		}
+		for i := 0; i < n; i++ {
+			inst.Workers[i] = Worker{Bundle: []int{i % 10, (i + 3) % 10, (i + 7) % 10}, Bid: 10 + 50*r.Float64()}
+			sortIntsTest(inst.Workers[i].Bundle)
+			row := make([]float64, 10)
+			for j := range row {
+				row[j] = 0.6 + 0.3*r.Float64()
+			}
+			inst.Skills[i] = row
+		}
+		if _, err := New(inst); err != nil && !errors.Is(err, ErrInfeasible) {
+			t.Fatal(err)
+		}
+	}
+	build(200)
+	build(400)
+	build(800)
+}

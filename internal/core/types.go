@@ -1,0 +1,225 @@
+// Package core implements the paper's primary contribution: the
+// differentially private single-minded reverse combinatorial auction
+// with heterogeneous cost (DP-hSRC, Algorithm 1 of the paper), together
+// with the non-private baseline auction used in the evaluation and the
+// exact analysis utilities (output PMFs, expected payments, expected
+// worker utilities) that make the paper's theorems directly testable.
+//
+// The model, following Section III of the paper: a platform hosts K
+// binary classification tasks; each worker i bids a bundle of task
+// indices and a price. The platform must pick a winner set S and a
+// single clearing price p such that every task j's aggregation-error
+// constraint sum_{i in S, j in bundle_i} (2*theta_ij-1)^2 >= 2*ln(1/delta_j)
+// holds (Lemma 1), while approximately minimizing the total payment
+// p*|S| and keeping each worker's bid epsilon-differentially private.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sentinel errors returned by instance validation and auction
+// construction. Callers match with errors.Is.
+var (
+	ErrNoWorkers     = errors.New("core: instance has no workers")
+	ErrNoTasks       = errors.New("core: instance has no tasks")
+	ErrBadBundle     = errors.New("core: invalid bidding bundle")
+	ErrBadSkill      = errors.New("core: skill level outside [0,1]")
+	ErrBadThreshold  = errors.New("core: error threshold outside (0,1)")
+	ErrBadBid        = errors.New("core: bid price outside [cmin, cmax]")
+	ErrBadCostRange  = errors.New("core: cost range invalid")
+	ErrBadEpsilon    = errors.New("core: privacy budget must be positive")
+	ErrBadPriceGrid  = errors.New("core: price grid must be ascending and positive")
+	ErrInfeasible    = errors.New("core: no feasible price exists")
+	ErrWorkerIndex   = errors.New("core: worker index out of range")
+	ErrEmptySupport  = errors.New("core: empty price support")
+	ErrSkillMismatch = errors.New("core: skill matrix shape mismatch")
+)
+
+// Worker is one participant's bid in the hSRC auction: the bundle of
+// task indices she offers to label and her asked price for the whole
+// bundle (Definition 1/2 of the paper; under the mechanism's
+// approximate truthfulness the bid price equals her true cost).
+type Worker struct {
+	// ID is an optional caller-assigned identifier carried through to
+	// outcomes; it plays no role in the mechanism.
+	ID string
+	// Bundle lists the task indices the worker bids on. It must be
+	// non-empty, sorted and duplicate-free.
+	Bundle []int
+	// Bid is the worker's asked price rho_i for executing the bundle.
+	Bid float64
+}
+
+// Instance is a complete hSRC auction instance.
+type Instance struct {
+	// NumTasks is K, the number of binary classification tasks.
+	NumTasks int
+	// Thresholds holds delta_j in (0,1) for each task: the maximum
+	// tolerated probability that the aggregated label is wrong.
+	Thresholds []float64
+	// Workers holds the N bids.
+	Workers []Worker
+	// Skills is the N x K skill-level matrix theta maintained by the
+	// platform: Skills[i][j] is the probability that worker i labels
+	// task j correctly.
+	Skills [][]float64
+	// Epsilon is the differential-privacy budget.
+	Epsilon float64
+	// CMin and CMax bound the possible worker costs (the finite cost
+	// set C of Section IV lies within [CMin, CMax]).
+	CMin, CMax float64
+	// PriceGrid is the ascending grid of candidate single prices (the
+	// set C restricted to candidate clearing prices). The feasible
+	// subset of this grid forms the mechanism's support P unless a
+	// support is fixed explicitly with WithPriceSet.
+	PriceGrid []float64
+}
+
+// Validate checks the instance for structural errors. All mechanism
+// entry points call it; it is exported so that callers constructing
+// instances from untrusted input (e.g. the wire protocol) can validate
+// early.
+func (inst *Instance) Validate() error {
+	if len(inst.Workers) == 0 {
+		return ErrNoWorkers
+	}
+	if inst.NumTasks <= 0 {
+		return ErrNoTasks
+	}
+	if len(inst.Thresholds) != inst.NumTasks {
+		return fmt.Errorf("%w: %d thresholds for %d tasks", ErrBadThreshold, len(inst.Thresholds), inst.NumTasks)
+	}
+	for j, d := range inst.Thresholds {
+		if !(d > 0 && d < 1) {
+			return fmt.Errorf("%w: task %d has delta=%v", ErrBadThreshold, j, d)
+		}
+	}
+	if !(inst.CMin >= 0 && inst.CMax >= inst.CMin) {
+		return fmt.Errorf("%w: [%v, %v]", ErrBadCostRange, inst.CMin, inst.CMax)
+	}
+	if inst.Epsilon <= 0 || math.IsNaN(inst.Epsilon) || math.IsInf(inst.Epsilon, 0) {
+		return fmt.Errorf("%w: eps=%v", ErrBadEpsilon, inst.Epsilon)
+	}
+	if len(inst.Skills) != len(inst.Workers) {
+		return fmt.Errorf("%w: %d skill rows for %d workers", ErrSkillMismatch, len(inst.Skills), len(inst.Workers))
+	}
+	for i, w := range inst.Workers {
+		if len(w.Bundle) == 0 {
+			return fmt.Errorf("%w: worker %d has empty bundle", ErrBadBundle, i)
+		}
+		if !sort.IntsAreSorted(w.Bundle) {
+			return fmt.Errorf("%w: worker %d bundle not sorted", ErrBadBundle, i)
+		}
+		prev := -1
+		for _, j := range w.Bundle {
+			if j < 0 || j >= inst.NumTasks {
+				return fmt.Errorf("%w: worker %d bids on task %d of %d", ErrBadBundle, i, j, inst.NumTasks)
+			}
+			if j == prev {
+				return fmt.Errorf("%w: worker %d bundle has duplicate task %d", ErrBadBundle, i, j)
+			}
+			prev = j
+		}
+		if w.Bid < inst.CMin || w.Bid > inst.CMax || math.IsNaN(w.Bid) {
+			return fmt.Errorf("%w: worker %d bid %v outside [%v, %v]", ErrBadBid, i, w.Bid, inst.CMin, inst.CMax)
+		}
+		if len(inst.Skills[i]) != inst.NumTasks {
+			return fmt.Errorf("%w: worker %d has %d skills for %d tasks", ErrSkillMismatch, i, len(inst.Skills[i]), inst.NumTasks)
+		}
+		for j, th := range inst.Skills[i] {
+			if th < 0 || th > 1 || math.IsNaN(th) {
+				return fmt.Errorf("%w: worker %d task %d theta=%v", ErrBadSkill, i, j, th)
+			}
+		}
+	}
+	if len(inst.PriceGrid) == 0 {
+		return fmt.Errorf("%w: empty grid", ErrBadPriceGrid)
+	}
+	prev := math.Inf(-1)
+	for _, p := range inst.PriceGrid {
+		if p <= 0 || math.IsNaN(p) || p <= prev {
+			return fmt.Errorf("%w: grid value %v after %v", ErrBadPriceGrid, p, prev)
+		}
+		prev = p
+	}
+	return nil
+}
+
+// Quality returns q_ij = (2*theta_ij - 1)^2, the informativeness of
+// worker i's label on task j (Lemma 1), or 0 if j is not in worker i's
+// bundle.
+func (inst *Instance) Quality(i, j int) float64 {
+	for _, t := range inst.Workers[i].Bundle {
+		if t == j {
+			return qualityOf(inst.Skills[i][j])
+		}
+	}
+	return 0
+}
+
+// Demand returns Q_j = 2*ln(1/delta_j), the coverage each task needs
+// under the weighted aggregation of Lemma 1.
+func (inst *Instance) Demand(j int) float64 {
+	return 2 * math.Log(1/inst.Thresholds[j])
+}
+
+// Demands returns the full Q vector.
+func (inst *Instance) Demands() []float64 {
+	out := make([]float64, inst.NumTasks)
+	for j := range out {
+		out[j] = inst.Demand(j)
+	}
+	return out
+}
+
+// qualityOf maps a skill level theta to the coverage contribution
+// (2*theta-1)^2.
+func qualityOf(theta float64) float64 {
+	d := 2*theta - 1
+	return d * d
+}
+
+// Clone deep-copies the instance so mechanism internals can never
+// alias caller-owned memory.
+func (inst *Instance) Clone() Instance {
+	cp := Instance{
+		NumTasks:   inst.NumTasks,
+		Thresholds: append([]float64(nil), inst.Thresholds...),
+		Workers:    make([]Worker, len(inst.Workers)),
+		Skills:     make([][]float64, len(inst.Skills)),
+		Epsilon:    inst.Epsilon,
+		CMin:       inst.CMin,
+		CMax:       inst.CMax,
+		PriceGrid:  append([]float64(nil), inst.PriceGrid...),
+	}
+	for i, w := range inst.Workers {
+		cp.Workers[i] = Worker{ID: w.ID, Bundle: append([]int(nil), w.Bundle...), Bid: w.Bid}
+	}
+	for i, row := range inst.Skills {
+		cp.Skills[i] = append([]float64(nil), row...)
+	}
+	return cp
+}
+
+// PriceGridRange builds the ascending grid {lo, lo+step, ..., <= hi},
+// matching the paper's price sets (numbers spaced at interval 0.1 in
+// [35, 60] for Settings I-IV).
+func PriceGridRange(lo, hi, step float64) []float64 {
+	if step <= 0 || hi < lo {
+		panic("core: invalid price grid range")
+	}
+	var grid []float64
+	// Generate by index to avoid accumulating floating-point error.
+	for k := 0; ; k++ {
+		v := lo + float64(k)*step
+		if v > hi+step*1e-9 {
+			break
+		}
+		grid = append(grid, v)
+	}
+	return grid
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verification errors returned by VerifyOutcome.
+var (
+	ErrOutcomeCoverage = errors.New("core: outcome violates a task's error-bound constraint")
+	ErrOutcomeIR       = errors.New("core: outcome violates individual rationality")
+	ErrOutcomeWinner   = errors.New("core: outcome winner index invalid")
+	ErrOutcomePayment  = errors.New("core: outcome payment inconsistent")
+)
+
+// VerifyOutcome checks that an auction outcome is well-formed for the
+// instance: winner indices are valid and unique, every winner bid at
+// most the clearing price (individual rationality under truthful
+// bidding, Theorem 4), the winner set satisfies every task's
+// error-bound constraint (Lemma 1), and the total payment equals
+// price times the number of winners. Infeasible outcomes (possible only
+// under an explicitly fixed price support) are rejected unless the
+// instance genuinely admits no cover at that price.
+//
+// It is intended as a trust-but-verify hook for protocol endpoints and
+// simulations: anything the mechanism emits must pass it.
+func VerifyOutcome(inst Instance, o Outcome) error {
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(o.Winners))
+	for _, w := range o.Winners {
+		if w < 0 || w >= len(inst.Workers) {
+			return fmt.Errorf("%w: %d of %d workers", ErrOutcomeWinner, w, len(inst.Workers))
+		}
+		if seen[w] {
+			return fmt.Errorf("%w: duplicate winner %d", ErrOutcomeWinner, w)
+		}
+		seen[w] = true
+		if inst.Workers[w].Bid > o.Price+priceEps {
+			return fmt.Errorf("%w: winner %d bid %v above price %v", ErrOutcomeIR, w, inst.Workers[w].Bid, o.Price)
+		}
+	}
+	if o.Feasible {
+		for j := 0; j < inst.NumTasks; j++ {
+			sum := 0.0
+			for _, w := range o.Winners {
+				sum += inst.Quality(w, j)
+			}
+			if sum < inst.Demand(j)-1e-6 {
+				return fmt.Errorf("%w: task %d has coverage %v < %v", ErrOutcomeCoverage, j, sum, inst.Demand(j))
+			}
+		}
+		want := o.Price * float64(len(o.Winners))
+		if diff := o.TotalPayment - want; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("%w: total %v != price*|S| %v", ErrOutcomePayment, o.TotalPayment, want)
+		}
+	}
+	return nil
+}

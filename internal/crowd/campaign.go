@@ -1,0 +1,98 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+)
+
+// CampaignResult is the outcome of one full sensing campaign: auction,
+// sensing, aggregation, and settlement.
+type CampaignResult struct {
+	// Outcome is the auction result (winners and clearing price).
+	Outcome core.Outcome
+	// Truth is the ground-truth label vector the simulator drew.
+	Truth []Label
+	// Aggregated is the platform's weighted-aggregation estimate.
+	Aggregated []Label
+	// Reports are the raw labels the winners submitted.
+	Reports []Report
+	// ErrorRate is the fraction of tasks aggregated incorrectly in
+	// this campaign.
+	ErrorRate float64
+	// Payments is the per-worker settlement vector.
+	Payments []float64
+}
+
+// RunCampaign executes the full MCS workflow of Section III-A on a
+// simulated crowd: run the DP-hSRC auction, have the winners sense and
+// label their bundles according to their true skill levels, aggregate
+// with Lemma 1's weighted rule, and settle payments.
+func RunCampaign(a *core.Auction, r *rand.Rand) (CampaignResult, error) {
+	inst := a.Instance()
+	outcome := a.Run(r)
+
+	truth := TrueLabels(r, inst.NumTasks)
+	bundles := make([][]int, len(inst.Workers))
+	for i, w := range inst.Workers {
+		bundles[i] = w.Bundle
+	}
+	reports, err := Collect(r, truth, outcome.Winners, bundles, inst.Skills)
+	if err != nil {
+		return CampaignResult{}, fmt.Errorf("crowd: sensing phase: %w", err)
+	}
+	aggregated, err := WeightedAggregate(reports, inst.Skills, inst.NumTasks)
+	if err != nil {
+		return CampaignResult{}, fmt.Errorf("crowd: aggregation: %w", err)
+	}
+	rate, err := ErrorRate(aggregated, truth)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	return CampaignResult{
+		Outcome:    outcome,
+		Truth:      truth,
+		Aggregated: aggregated,
+		Reports:    reports,
+		ErrorRate:  rate,
+		Payments:   outcome.Payments(len(inst.Workers)),
+	}, nil
+}
+
+// EmpiricalTaskError estimates, by Monte-Carlo simulation, the
+// probability that the weighted aggregation mislabels each task when
+// the given winners execute their bundles. It is the empirical check of
+// Lemma 1: with a winner set satisfying the error-bound constraint, the
+// returned frequency for task j should not exceed delta_j.
+func EmpiricalTaskError(inst core.Instance, winners []int, trials int, r *rand.Rand) ([]float64, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("crowd: trials must be positive, got %d", trials)
+	}
+	bundles := make([][]int, len(inst.Workers))
+	for i, w := range inst.Workers {
+		bundles[i] = w.Bundle
+	}
+	wrong := make([]int, inst.NumTasks)
+	for t := 0; t < trials; t++ {
+		truth := TrueLabels(r, inst.NumTasks)
+		reports, err := Collect(r, truth, winners, bundles, inst.Skills)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := WeightedAggregate(reports, inst.Skills, inst.NumTasks)
+		if err != nil {
+			return nil, err
+		}
+		for j := range truth {
+			if agg[j] != truth[j] {
+				wrong[j]++
+			}
+		}
+	}
+	rates := make([]float64, inst.NumTasks)
+	for j, w := range wrong {
+		rates[j] = float64(w) / float64(trials)
+	}
+	return rates, nil
+}

@@ -1,0 +1,88 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/workload"
+)
+
+func campaignAuction(t *testing.T, seed int64) (*core.Auction, *rand.Rand) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	params := workload.SettingI(80)
+	inst, err := params.Generate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, r
+}
+
+func TestRunCampaignEndToEnd(t *testing.T) {
+	a, r := campaignAuction(t, 42)
+	res, err := RunCampaign(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := a.Instance()
+	if len(res.Truth) != inst.NumTasks || len(res.Aggregated) != inst.NumTasks {
+		t.Fatalf("label vectors sized %d/%d, want %d", len(res.Truth), len(res.Aggregated), inst.NumTasks)
+	}
+	if len(res.Outcome.Winners) == 0 {
+		t.Fatal("no winners")
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	if res.ErrorRate < 0 || res.ErrorRate > 1 {
+		t.Fatalf("error rate %v", res.ErrorRate)
+	}
+	total := 0.0
+	for _, p := range res.Payments {
+		total += p
+	}
+	if math.Abs(total-res.Outcome.TotalPayment) > 1e-6 {
+		t.Fatalf("payments %v != total %v", total, res.Outcome.TotalPayment)
+	}
+	// The winner set satisfies Lemma 1's constraint, so the average
+	// per-task error should be within the loosest threshold by a wide
+	// margin; a single campaign can be unlucky, so just check the rate
+	// is not absurd.
+	if res.ErrorRate > 0.5 {
+		t.Errorf("aggregation error rate %.3f implausibly high", res.ErrorRate)
+	}
+}
+
+func TestEmpiricalTaskErrorRespectsDeltas(t *testing.T) {
+	// The paper's Lemma 1: every winner set produced by the auction
+	// keeps each task's aggregation error below its delta_j. Verified
+	// by Monte Carlo over 2000 sensing rounds.
+	a, r := campaignAuction(t, 7)
+	inst := a.Instance()
+	out := a.Run(r)
+	rates, err := EmpiricalTaskError(inst, out.Winners, 2000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, rate := range rates {
+		// Allow Monte-Carlo slack of 3 standard errors.
+		delta := inst.Thresholds[j]
+		slack := 3 * math.Sqrt(delta*(1-delta)/2000)
+		if rate > delta+slack {
+			t.Errorf("task %d: empirical error %.4f exceeds delta %.3f (+%.4f slack)", j, rate, delta, slack)
+		}
+	}
+}
+
+func TestEmpiricalTaskErrorValidation(t *testing.T) {
+	a, r := campaignAuction(t, 9)
+	if _, err := EmpiricalTaskError(a.Instance(), nil, 0, r); err == nil {
+		t.Fatal("want error for zero trials")
+	}
+}

@@ -1,0 +1,111 @@
+// Package crowd simulates the mobile-crowd-sensing substrate the
+// auction runs on: workers with per-task skill levels produce noisy
+// binary labels, the platform aggregates them with the weighted rule of
+// Lemma 1, and (when ground truth is unavailable) estimates worker
+// skill with an EM truth-discovery algorithm in the style of
+// Dawid-Skene, as referenced in Section III-A of the paper.
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Label is a binary classification label. The zero value means "no
+// label".
+type Label int8
+
+// Label values.
+const (
+	Unlabeled Label = 0
+	Positive  Label = 1
+	Negative  Label = -1
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case Positive:
+		return "+1"
+	case Negative:
+		return "-1"
+	case Unlabeled:
+		return "?"
+	default:
+		return fmt.Sprintf("Label(%d)", int8(l))
+	}
+}
+
+// Report is one label submitted by one worker for one task.
+type Report struct {
+	Worker int
+	Task   int
+	Label  Label
+}
+
+// Errors returned by the crowd package.
+var (
+	ErrShape    = errors.New("crowd: shape mismatch")
+	ErrNoLabels = errors.New("crowd: no labels to aggregate")
+)
+
+// TrueLabels draws a uniformly random ground-truth label vector for
+// numTasks binary tasks.
+func TrueLabels(r *rand.Rand, numTasks int) []Label {
+	truth := make([]Label, numTasks)
+	for j := range truth {
+		if r.Intn(2) == 0 {
+			truth[j] = Positive
+		} else {
+			truth[j] = Negative
+		}
+	}
+	return truth
+}
+
+// Collect simulates the sensing phase: each listed worker labels every
+// task in her bundle, reporting the true label with probability equal
+// to her skill level theta and the flipped label otherwise
+// (Pr[l_ij = l_j] = theta_ij, Section III-A).
+func Collect(r *rand.Rand, truth []Label, workers []int, bundles [][]int, skills [][]float64) ([]Report, error) {
+	if len(bundles) != len(skills) {
+		return nil, fmt.Errorf("%w: %d bundles vs %d skill rows", ErrShape, len(bundles), len(skills))
+	}
+	var reports []Report
+	for _, w := range workers {
+		if w < 0 || w >= len(bundles) {
+			return nil, fmt.Errorf("%w: worker %d of %d", ErrShape, w, len(bundles))
+		}
+		for _, j := range bundles[w] {
+			if j < 0 || j >= len(truth) {
+				return nil, fmt.Errorf("%w: task %d of %d", ErrShape, j, len(truth))
+			}
+			label := truth[j]
+			if r.Float64() >= skills[w][j] {
+				label = -label
+			}
+			reports = append(reports, Report{Worker: w, Task: j, Label: label})
+		}
+	}
+	return reports, nil
+}
+
+// ErrorRate returns the fraction of tasks where est differs from truth.
+// Unlabeled estimates count as errors: the platform had to output
+// something and had nothing.
+func ErrorRate(est, truth []Label) (float64, error) {
+	if len(est) != len(truth) {
+		return 0, fmt.Errorf("%w: %d estimates vs %d truths", ErrShape, len(est), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, nil
+	}
+	wrong := 0
+	for j := range truth {
+		if est[j] != truth[j] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(truth)), nil
+}

@@ -1,0 +1,204 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+)
+
+// EMOptions configures EstimateSkills.
+type EMOptions struct {
+	// MaxIterations caps the EM loop; 0 means the default of 100.
+	MaxIterations int
+	// Tolerance is the maximum absolute accuracy change below which
+	// the loop stops; 0 means the default of 1e-6.
+	Tolerance float64
+	// PriorPositive is the prior probability that a task's true label
+	// is Positive; 0 means the default of 0.5.
+	PriorPositive float64
+}
+
+// EMResult is the output of EstimateSkills.
+type EMResult struct {
+	// Accuracy[i] is the estimated probability that worker i labels a
+	// task correctly (the one-coin Dawid-Skene skill estimate).
+	Accuracy []float64
+	// PosteriorPositive[j] is the posterior probability that task j's
+	// true label is Positive.
+	PosteriorPositive []float64
+	// Labels[j] is the maximum-a-posteriori label per task; Unlabeled
+	// where no worker reported.
+	Labels []Label
+	// Iterations is the number of EM rounds performed.
+	Iterations int
+	// Converged reports whether the tolerance was reached before the
+	// iteration cap.
+	Converged bool
+}
+
+// accuracyClamp keeps estimated accuracies away from 0 and 1, where the
+// log-likelihood degenerates and a worker's reports would be treated as
+// infinitely informative.
+const accuracyClamp = 0.01
+
+// EstimateSkills runs one-coin Dawid-Skene EM truth discovery on a set
+// of binary label reports: it alternately infers a posterior over each
+// task's true label given current worker accuracies (E-step) and
+// re-estimates each worker's accuracy against those posteriors
+// (M-step), starting from majority-vote labels. This is the
+// ground-truth-free skill estimation route the paper points to in
+// Section III-A for maintaining the platform's theta matrix.
+func EstimateSkills(reports []Report, numWorkers, numTasks int, opts EMOptions) (EMResult, error) {
+	if len(reports) == 0 {
+		return EMResult{}, ErrNoLabels
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	prior := opts.PriorPositive
+	if prior <= 0 || prior >= 1 {
+		prior = 0.5
+	}
+
+	byTask := make([][]Report, numTasks)
+	counts := make([]int, numWorkers)
+	for _, rep := range reports {
+		if rep.Worker < 0 || rep.Worker >= numWorkers || rep.Task < 0 || rep.Task >= numTasks {
+			return EMResult{}, fmt.Errorf("%w: report %+v", ErrShape, rep)
+		}
+		if rep.Label != Positive && rep.Label != Negative {
+			return EMResult{}, fmt.Errorf("%w: report %+v has no label", ErrShape, rep)
+		}
+		byTask[rep.Task] = append(byTask[rep.Task], rep)
+		counts[rep.Worker]++
+	}
+
+	// Initialize posteriors from majority vote, softened so EM can move
+	// away from wrong initial votes.
+	post := make([]float64, numTasks)
+	for j, reps := range byTask {
+		sum := 0
+		for _, rep := range reps {
+			sum += int(rep.Label)
+		}
+		switch {
+		case sum > 0:
+			post[j] = 0.9
+		case sum < 0:
+			post[j] = 0.1
+		default:
+			post[j] = 0.5
+		}
+	}
+
+	acc := make([]float64, numWorkers)
+	for i := range acc {
+		acc[i] = 0.7 // optimistic but not degenerate starting accuracy
+	}
+
+	result := EMResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		// M-step: accuracy = expected fraction of a worker's reports
+		// matching the (soft) posterior truth.
+		newAcc := make([]float64, numWorkers)
+		for j, reps := range byTask {
+			for _, rep := range reps {
+				if rep.Label == Positive {
+					newAcc[rep.Worker] += post[j]
+				} else {
+					newAcc[rep.Worker] += 1 - post[j]
+				}
+			}
+		}
+		maxDelta := 0.0
+		for i := range newAcc {
+			if counts[i] == 0 {
+				newAcc[i] = acc[i]
+				continue
+			}
+			a := newAcc[i] / float64(counts[i])
+			a = math.Min(1-accuracyClamp, math.Max(accuracyClamp, a))
+			if d := math.Abs(a - acc[i]); d > maxDelta {
+				maxDelta = d
+			}
+			newAcc[i] = a
+		}
+		acc = newAcc
+
+		// E-step: posterior of Positive per task from the current
+		// accuracies, computed in log-space.
+		for j, reps := range byTask {
+			if len(reps) == 0 {
+				post[j] = prior
+				continue
+			}
+			logPos := math.Log(prior)
+			logNeg := math.Log(1 - prior)
+			for _, rep := range reps {
+				a := acc[rep.Worker]
+				if rep.Label == Positive {
+					logPos += math.Log(a)
+					logNeg += math.Log(1 - a)
+				} else {
+					logPos += math.Log(1 - a)
+					logNeg += math.Log(a)
+				}
+			}
+			// Normalize with the log-sum-exp shift.
+			m := math.Max(logPos, logNeg)
+			pPos := math.Exp(logPos - m)
+			pNeg := math.Exp(logNeg - m)
+			post[j] = pPos / (pPos + pNeg)
+		}
+
+		result.Iterations = iter + 1
+		if maxDelta < tol {
+			result.Converged = true
+			break
+		}
+	}
+
+	labels := make([]Label, numTasks)
+	for j := range labels {
+		if len(byTask[j]) == 0 {
+			continue
+		}
+		if post[j] >= 0.5 {
+			labels[j] = Positive
+		} else {
+			labels[j] = Negative
+		}
+	}
+	result.Accuracy = acc
+	result.PosteriorPositive = post
+	result.Labels = labels
+	return result, nil
+}
+
+// SkillMatrix expands per-worker accuracies into the N x K theta matrix
+// the auction consumes, assigning each worker her scalar accuracy on
+// every task in her bundle and 0.5 (uninformative) elsewhere.
+func SkillMatrix(accuracy []float64, bundles [][]int, numTasks int) ([][]float64, error) {
+	if len(accuracy) != len(bundles) {
+		return nil, fmt.Errorf("%w: %d accuracies vs %d bundles", ErrShape, len(accuracy), len(bundles))
+	}
+	skills := make([][]float64, len(accuracy))
+	for i := range skills {
+		row := make([]float64, numTasks)
+		for j := range row {
+			row[j] = 0.5
+		}
+		for _, j := range bundles[i] {
+			if j < 0 || j >= numTasks {
+				return nil, fmt.Errorf("%w: bundle task %d of %d", ErrShape, j, numTasks)
+			}
+			row[j] = accuracy[i]
+		}
+		skills[i] = row
+	}
+	return skills, nil
+}

@@ -1,0 +1,193 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoCoinResult is the output of EstimateSkillsTwoCoin: the full
+// Dawid-Skene confusion model for binary labels, where a worker's
+// reliability may differ between positive and negative ground truth.
+type TwoCoinResult struct {
+	// Sensitivity[i] is Pr[worker i reports +1 | truth is +1].
+	Sensitivity []float64
+	// Specificity[i] is Pr[worker i reports -1 | truth is -1].
+	Specificity []float64
+	// PosteriorPositive[j] is the posterior that task j's label is +1.
+	PosteriorPositive []float64
+	// Labels[j] is the MAP label per task; Unlabeled where nobody
+	// reported.
+	Labels []Label
+	// PriorPositive is the learned class prior.
+	PriorPositive float64
+	Iterations    int
+	Converged     bool
+}
+
+// Accuracy returns the balanced per-worker accuracy
+// (sensitivity+specificity)/2, the scalar the auction's theta matrix
+// consumes when the class prior is uniform.
+func (t TwoCoinResult) Accuracy() []float64 {
+	out := make([]float64, len(t.Sensitivity))
+	for i := range out {
+		out[i] = (t.Sensitivity[i] + t.Specificity[i]) / 2
+	}
+	return out
+}
+
+// EstimateSkillsTwoCoin runs full (two-coin) Dawid-Skene EM on binary
+// reports: unlike the one-coin model of EstimateSkills, each worker has
+// separate sensitivity and specificity, and the class prior is learned.
+// Use it when workers are biased (e.g. systematically over-reporting
+// potholes); the one-coin model is the right default when errors are
+// symmetric.
+func EstimateSkillsTwoCoin(reports []Report, numWorkers, numTasks int, opts EMOptions) (TwoCoinResult, error) {
+	if len(reports) == 0 {
+		return TwoCoinResult{}, ErrNoLabels
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	prior := opts.PriorPositive
+	if prior <= 0 || prior >= 1 {
+		prior = 0.5
+	}
+
+	byTask := make([][]Report, numTasks)
+	for _, rep := range reports {
+		if rep.Worker < 0 || rep.Worker >= numWorkers || rep.Task < 0 || rep.Task >= numTasks {
+			return TwoCoinResult{}, fmt.Errorf("%w: report %+v", ErrShape, rep)
+		}
+		if rep.Label != Positive && rep.Label != Negative {
+			return TwoCoinResult{}, fmt.Errorf("%w: report %+v has no label", ErrShape, rep)
+		}
+		byTask[rep.Task] = append(byTask[rep.Task], rep)
+	}
+
+	// Initialize posteriors from softened majority vote.
+	post := make([]float64, numTasks)
+	for j, reps := range byTask {
+		sum := 0
+		for _, rep := range reps {
+			sum += int(rep.Label)
+		}
+		switch {
+		case sum > 0:
+			post[j] = 0.9
+		case sum < 0:
+			post[j] = 0.1
+		default:
+			post[j] = 0.5
+		}
+	}
+
+	sens := make([]float64, numWorkers)
+	spec := make([]float64, numWorkers)
+	for i := range sens {
+		sens[i], spec[i] = 0.7, 0.7
+	}
+
+	res := TwoCoinResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		// M-step: per-worker confusion estimates and the class prior,
+		// all against the soft posteriors.
+		posWeightedCorrect := make([]float64, numWorkers)
+		posWeight := make([]float64, numWorkers)
+		negWeightedCorrect := make([]float64, numWorkers)
+		negWeight := make([]float64, numWorkers)
+		priorSum, priorN := 0.0, 0
+		for j, reps := range byTask {
+			if len(reps) > 0 {
+				priorSum += post[j]
+				priorN++
+			}
+			for _, rep := range reps {
+				posWeight[rep.Worker] += post[j]
+				negWeight[rep.Worker] += 1 - post[j]
+				if rep.Label == Positive {
+					posWeightedCorrect[rep.Worker] += post[j]
+				} else {
+					negWeightedCorrect[rep.Worker] += 1 - post[j]
+				}
+			}
+		}
+		maxDelta := 0.0
+		for i := 0; i < numWorkers; i++ {
+			if posWeight[i] > 0 {
+				s := clampAcc(posWeightedCorrect[i] / posWeight[i])
+				if d := math.Abs(s - sens[i]); d > maxDelta {
+					maxDelta = d
+				}
+				sens[i] = s
+			}
+			if negWeight[i] > 0 {
+				s := clampAcc(negWeightedCorrect[i] / negWeight[i])
+				if d := math.Abs(s - spec[i]); d > maxDelta {
+					maxDelta = d
+				}
+				spec[i] = s
+			}
+		}
+		if priorN > 0 {
+			prior = clampAcc(priorSum / float64(priorN))
+		}
+
+		// E-step: posteriors from the confusion model.
+		for j, reps := range byTask {
+			if len(reps) == 0 {
+				post[j] = prior
+				continue
+			}
+			logPos := math.Log(prior)
+			logNeg := math.Log(1 - prior)
+			for _, rep := range reps {
+				if rep.Label == Positive {
+					logPos += math.Log(sens[rep.Worker])
+					logNeg += math.Log(1 - spec[rep.Worker])
+				} else {
+					logPos += math.Log(1 - sens[rep.Worker])
+					logNeg += math.Log(spec[rep.Worker])
+				}
+			}
+			m := math.Max(logPos, logNeg)
+			pPos := math.Exp(logPos - m)
+			pNeg := math.Exp(logNeg - m)
+			post[j] = pPos / (pPos + pNeg)
+		}
+
+		res.Iterations = iter + 1
+		if maxDelta < tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	labels := make([]Label, numTasks)
+	for j := range labels {
+		if len(byTask[j]) == 0 {
+			continue
+		}
+		if post[j] >= 0.5 {
+			labels[j] = Positive
+		} else {
+			labels[j] = Negative
+		}
+	}
+	res.Sensitivity = sens
+	res.Specificity = spec
+	res.PosteriorPositive = post
+	res.Labels = labels
+	res.PriorPositive = prior
+	return res, nil
+}
+
+// clampAcc keeps probability estimates away from the degenerate 0/1
+// endpoints.
+func clampAcc(x float64) float64 {
+	return math.Min(1-accuracyClamp, math.Max(accuracyClamp, x))
+}

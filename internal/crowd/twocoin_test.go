@@ -1,0 +1,134 @@
+package crowd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// collectBiased simulates workers with separate sensitivity and
+// specificity.
+func collectBiased(r *rand.Rand, truth []Label, sens, spec []float64) []Report {
+	var reports []Report
+	for i := range sens {
+		for j := range truth {
+			var correct float64
+			if truth[j] == Positive {
+				correct = sens[i]
+			} else {
+				correct = spec[i]
+			}
+			label := truth[j]
+			if r.Float64() >= correct {
+				label = -label
+			}
+			reports = append(reports, Report{Worker: i, Task: j, Label: label})
+		}
+	}
+	return reports
+}
+
+func TestTwoCoinRecoversAsymmetricSkills(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const (
+		numWorkers = 25
+		numTasks   = 400
+	)
+	truth := TrueLabels(r, numTasks)
+	sens := make([]float64, numWorkers)
+	spec := make([]float64, numWorkers)
+	for i := range sens {
+		sens[i] = 0.6 + 0.35*r.Float64()
+		spec[i] = 0.6 + 0.35*r.Float64()
+	}
+	reports := collectBiased(r, truth, sens, spec)
+	res, err := EstimateSkillsTwoCoin(reports, numWorkers, numTasks, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("EM did not converge")
+	}
+	meanSensErr, meanSpecErr := 0.0, 0.0
+	for i := range sens {
+		meanSensErr += math.Abs(res.Sensitivity[i] - sens[i])
+		meanSpecErr += math.Abs(res.Specificity[i] - spec[i])
+	}
+	meanSensErr /= numWorkers
+	meanSpecErr /= numWorkers
+	if meanSensErr > 0.06 || meanSpecErr > 0.06 {
+		t.Errorf("confusion recovery errors: sens %.3f spec %.3f", meanSensErr, meanSpecErr)
+	}
+	labelErr, err := ErrorRate(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labelErr > 0.02 {
+		t.Errorf("label error %.3f", labelErr)
+	}
+}
+
+func TestTwoCoinBeatsOneCoinOnBiasedWorkers(t *testing.T) {
+	// Workers that almost always say Positive when truth is Positive
+	// but coin-flip on Negative truth break the symmetric model's
+	// assumptions; the two-coin model should label at least as well.
+	r := rand.New(rand.NewSource(7))
+	const (
+		numWorkers = 15
+		numTasks   = 500
+	)
+	truth := TrueLabels(r, numTasks)
+	sens := make([]float64, numWorkers)
+	spec := make([]float64, numWorkers)
+	for i := range sens {
+		sens[i] = 0.95
+		spec[i] = 0.52
+	}
+	reports := collectBiased(r, truth, sens, spec)
+	two, err := EstimateSkillsTwoCoin(reports, numWorkers, numTasks, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := EstimateSkills(reports, numWorkers, numTasks, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoErr, _ := ErrorRate(two.Labels, truth)
+	oneErr, _ := ErrorRate(one.Labels, truth)
+	if twoErr > oneErr+0.01 {
+		t.Errorf("two-coin error %.3f worse than one-coin %.3f on biased workers", twoErr, oneErr)
+	}
+	// The learned sensitivities should reflect the bias direction.
+	meanSens, meanSpec := 0.0, 0.0
+	for i := range two.Sensitivity {
+		meanSens += two.Sensitivity[i]
+		meanSpec += two.Specificity[i]
+	}
+	if meanSens/numWorkers <= meanSpec/numWorkers {
+		t.Errorf("bias direction not learned: sens %.3f <= spec %.3f",
+			meanSens/numWorkers, meanSpec/numWorkers)
+	}
+}
+
+func TestTwoCoinAccuracyHelper(t *testing.T) {
+	res := TwoCoinResult{Sensitivity: []float64{0.9, 0.6}, Specificity: []float64{0.7, 0.8}}
+	acc := res.Accuracy()
+	if math.Abs(acc[0]-0.8) > 1e-12 || math.Abs(acc[1]-0.7) > 1e-12 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestTwoCoinErrors(t *testing.T) {
+	if _, err := EstimateSkillsTwoCoin(nil, 1, 1, EMOptions{}); !errors.Is(err, ErrNoLabels) {
+		t.Errorf("no reports: got %v", err)
+	}
+	bad := []Report{{Worker: 5, Task: 0, Label: Positive}}
+	if _, err := EstimateSkillsTwoCoin(bad, 1, 1, EMOptions{}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad worker: got %v", err)
+	}
+	unl := []Report{{Worker: 0, Task: 0, Label: Unlabeled}}
+	if _, err := EstimateSkillsTwoCoin(unl, 1, 1, EMOptions{}); !errors.Is(err, ErrShape) {
+		t.Errorf("unlabeled: got %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/workload"
+)
+
+// testConfig keeps the sweeps small enough for CI while exercising the
+// full pipeline.
+func testConfig() Config {
+	return Config{
+		Seed:          7,
+		Scale:         0.35,
+		OptimalBudget: 500 * time.Millisecond,
+	}
+}
+
+func TestFigure1ShapeAndOrdering(t *testing.T) {
+	res, err := Figure1(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig1" || len(res.Series) != 3 {
+		t.Fatalf("unexpected result shape: %s with %d series", res.ID, len(res.Series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range res.Series {
+		byName[s.Name] = s.Y
+	}
+	opt, dp, base := byName["Optimal"], byName["DP-hSRC Auction"], byName["Baseline Auction"]
+	if opt == nil || dp == nil || base == nil {
+		t.Fatalf("missing series: %v", byName)
+	}
+	// The paper's headline shape: Optimal <= DP-hSRC (in expectation;
+	// tiny numerical slack) and DP-hSRC beats the baseline on average
+	// across the sweep.
+	dpSum, baseSum := 0.0, 0.0
+	for i := range dp {
+		if opt[i] > dp[i]+1e-6 {
+			t.Errorf("point %d: optimal %v exceeds DP-hSRC %v", i, opt[i], dp[i])
+		}
+		dpSum += dp[i]
+		baseSum += base[i]
+	}
+	if dpSum >= baseSum {
+		t.Errorf("DP-hSRC mean payment %v not below baseline %v", dpSum, baseSum)
+	}
+}
+
+func TestFigure2Runs(t *testing.T) {
+	res, err := Figure2(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(res.Series))
+	}
+	if len(res.Series[0].X) != len(rangeInts(20, 50, 2)) {
+		t.Errorf("sweep length %d", len(res.Series[0].X))
+	}
+}
+
+func TestFigure3And4NoOptimal(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 0.06 // Setting III/IV are large; shrink hard for CI
+	for _, fn := range []func(Config) (FigureResult, error){Figure3, Figure4} {
+		res, err := fn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Series) != 2 {
+			t.Fatalf("%s: want 2 series (no optimal), got %d", res.ID, len(res.Series))
+		}
+		dp, base := res.Series[0], res.Series[1]
+		if dp.Name != "DP-hSRC Auction" || base.Name != "Baseline Auction" {
+			t.Fatalf("%s: unexpected series names %q, %q", res.ID, dp.Name, base.Name)
+		}
+		dpSum, baseSum := 0.0, 0.0
+		for i := range dp.Y {
+			dpSum += dp.Y[i]
+			baseSum += base.Y[i]
+		}
+		if dpSum >= baseSum {
+			t.Errorf("%s: DP-hSRC %v not below baseline %v", res.ID, dpSum, baseSum)
+		}
+	}
+}
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	// The exact-PMF statistics and the paper's sampling estimate must
+	// agree; cross-check a single Setting II point both ways.
+	exactCfg := testConfig()
+	mcCfg := testConfig()
+	mcCfg.Samples = 20000
+	exact, err := paymentSweep("chk", "t", "x", []int{30}, workload.SettingII, false, exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := paymentSweep("chk", "t", "x", []int{30}, workload.SettingII, false, mcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, mm := exact.Series[0].Y[0], mc.Series[0].Y[0]
+	if rel := abs(em-mm) / em; rel > 0.02 {
+		t.Errorf("exact mean %v vs Monte-Carlo mean %v (rel err %.3f)", em, mm, rel)
+	}
+	es, ms := exact.Series[0].YErr[0], mc.Series[0].YErr[0]
+	if es > 0 && abs(es-ms)/es > 0.15 {
+		t.Errorf("exact std %v vs Monte-Carlo std %v", es, ms)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestTable2(t *testing.T) {
+	cfg := testConfig()
+	cfg.OptimalBudget = 200 * time.Millisecond
+	res, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SettingI) != 8 || len(res.SettingII) != 8 {
+		t.Fatalf("row counts %d/%d, want 8/8 (paper Table II)", len(res.SettingI), len(res.SettingII))
+	}
+	for _, row := range append(res.SettingI, res.SettingII...) {
+		if row.DPSeconds <= 0 || row.OptSeconds <= 0 {
+			t.Errorf("row %s has non-positive timings: %+v", row.Label, row)
+		}
+	}
+	tblI, tblII := res.Render()
+	if !strings.Contains(tblI.String(), "N=80") || !strings.Contains(tblII.String(), "K=20") {
+		t.Error("rendered tables missing sweep labels")
+	}
+}
+
+func TestFigure5TradeoffMonotonicity(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scale = 0.08
+	res, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Payment) != len(Figure5Epsilons) || len(res.Leakage) != len(Figure5Epsilons) {
+		t.Fatalf("sweep lengths %d/%d", len(res.Payment), len(res.Leakage))
+	}
+	// The paper's trade-off: payment decreases and leakage increases
+	// with epsilon. Individual adjacent points can tie; compare the
+	// endpoints, which must be strictly ordered.
+	first, last := 0, len(Figure5Epsilons)-1
+	if !(res.Payment[first] > res.Payment[last]) {
+		t.Errorf("payment at eps=%v (%v) not above payment at eps=%v (%v)",
+			Figure5Epsilons[first], res.Payment[first], Figure5Epsilons[last], res.Payment[last])
+	}
+	if !(res.Leakage[first] < res.Leakage[last]) {
+		t.Errorf("leakage at eps=%v (%v) not below leakage at eps=%v (%v)",
+			Figure5Epsilons[first], res.Leakage[first], Figure5Epsilons[last], res.Leakage[last])
+	}
+	for _, l := range res.Leakage {
+		if l < 0 {
+			t.Errorf("negative leakage %v", l)
+		}
+	}
+	payment, leakage := res.Charts()
+	if _, err := payment.SVG(); err != nil {
+		t.Errorf("payment chart: %v", err)
+	}
+	if _, err := leakage.SVG(); err != nil {
+		t.Errorf("leakage chart: %v", err)
+	}
+}
+
+func TestWriteFigureAndTables(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Scale = 0.2
+	res, err := paymentSweep("figX", "test", "x", []int{25, 30}, workload.SettingII, false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := WriteFigure(dir, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("file %s missing or empty", f)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figX.svg")); err != nil {
+		t.Error("svg not written")
+	}
+
+	t2, err := Table2(Config{Seed: 3, Scale: 0.35, OptimalBudget: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err = WriteTable2(dir, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Errorf("table2 wrote %d files, want 3", len(files))
+	}
+
+	f5 := Figure5Result{
+		Epsilons: []float64{0.25, 1000},
+		Payment:  []float64{100, 50},
+		Leakage:  []float64{0.001, 2},
+		Notes:    []string{"synthetic"},
+	}
+	files, err = WriteFigure5(dir, f5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Errorf("figure5 wrote %d files, want 4", len(files))
+	}
+}
+
+func TestRangeInts(t *testing.T) {
+	got := rangeInts(80, 140, 5)
+	if len(got) != 13 || got[0] != 80 || got[12] != 140 {
+		t.Errorf("rangeInts = %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/dphsrc/dphsrc/internal/plot"
+)
+
+// WriteFigure writes a figure's SVG, tidy CSV and notes into dir using
+// the figure ID as the base filename. It returns the files written.
+func WriteFigure(dir string, f FigureResult) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: creating %s: %w", dir, err)
+	}
+	var written []string
+
+	chart := f.Chart()
+	svg, err := chart.SVG()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: rendering %s: %w", f.ID, err)
+	}
+	svgPath := filepath.Join(dir, f.ID+".svg")
+	if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+		return nil, err
+	}
+	written = append(written, svgPath)
+
+	csvPath := filepath.Join(dir, f.ID+".csv")
+	var sb strings.Builder
+	if err := plot.WriteSeriesCSV(&sb, f.Series); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(csvPath, []byte(sb.String()), 0o644); err != nil {
+		return nil, err
+	}
+	written = append(written, csvPath)
+
+	if len(f.Notes) > 0 {
+		notesPath := filepath.Join(dir, f.ID+".notes.txt")
+		if err := os.WriteFile(notesPath, []byte(strings.Join(f.Notes, "\n")+"\n"), 0o644); err != nil {
+			return nil, err
+		}
+		written = append(written, notesPath)
+	}
+	return written, nil
+}
+
+// WriteTable2 writes Table II's two blocks as text and CSV files.
+func WriteTable2(dir string, t Table2Result) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: creating %s: %w", dir, err)
+	}
+	tblI, tblII := t.Render()
+	var written []string
+	txt := "Table II (Setting I)\n" + tblI.String() + "\nTable II (Setting II)\n" + tblII.String()
+	if len(t.Notes) > 0 {
+		txt += "\nNotes:\n  " + strings.Join(t.Notes, "\n  ") + "\n"
+	}
+	txtPath := filepath.Join(dir, "table2.txt")
+	if err := os.WriteFile(txtPath, []byte(txt), 0o644); err != nil {
+		return nil, err
+	}
+	written = append(written, txtPath)
+
+	for name, tbl := range map[string]plot.Table{
+		"table2_setting1.csv": tblI,
+		"table2_setting2.csv": tblII,
+	} {
+		var sb strings.Builder
+		if err := tbl.WriteCSV(&sb); err != nil {
+			return nil, err
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+			return nil, err
+		}
+		written = append(written, p)
+	}
+	return written, nil
+}
+
+// WriteFigure5 writes Figure 5's two SVG charts plus its tidy CSV.
+func WriteFigure5(dir string, f Figure5Result) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: creating %s: %w", dir, err)
+	}
+	var written []string
+	payment, leakage := f.Charts()
+	for name, chart := range map[string]plot.Chart{
+		"fig5_payment.svg": payment,
+		"fig5_leakage.svg": leakage,
+	} {
+		svg, err := chart.SVG()
+		if err != nil {
+			return nil, err
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(svg), 0o644); err != nil {
+			return nil, err
+		}
+		written = append(written, p)
+	}
+	var sb strings.Builder
+	if err := plot.WriteSeriesCSV(&sb, f.Series()); err != nil {
+		return nil, err
+	}
+	csvPath := filepath.Join(dir, "fig5.csv")
+	if err := os.WriteFile(csvPath, []byte(sb.String()), 0o644); err != nil {
+		return nil, err
+	}
+	written = append(written, csvPath)
+	if len(f.Notes) > 0 {
+		notesPath := filepath.Join(dir, "fig5.notes.txt")
+		if err := os.WriteFile(notesPath, []byte(strings.Join(f.Notes, "\n")+"\n"), 0o644); err != nil {
+			return nil, err
+		}
+		written = append(written, notesPath)
+	}
+	return written, nil
+}

@@ -1,0 +1,223 @@
+// Package geo generates spatially structured MCS workloads, modeling
+// the geotagging systems that motivate the paper (pothole mapping,
+// road-condition tagging): tasks are road segments on a grid network,
+// and each worker's bidding bundle is the set of segments along a
+// commute route, so bundles are spatially correlated rather than
+// uniform — exactly the structure that makes bid bundles privacy-
+// sensitive (a bundle reveals where its worker drives).
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+)
+
+// ErrBadGrid reports invalid road-network parameters.
+var ErrBadGrid = errors.New("geo: invalid road network parameters")
+
+// RoadNetwork is a W x H grid of intersections; every edge between
+// adjacent intersections is one road segment (a binary classification
+// task: "does this segment need repair?").
+type RoadNetwork struct {
+	Width, Height int
+	// horizontalBase is the task-index offset of horizontal segments;
+	// vertical segments come first.
+	horizontalBase int
+}
+
+// NewRoadNetwork builds a grid road network. Both dimensions must be at
+// least 2 so the network has segments in both directions.
+func NewRoadNetwork(width, height int) (*RoadNetwork, error) {
+	if width < 2 || height < 2 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrBadGrid, width, height)
+	}
+	return &RoadNetwork{
+		Width:          width,
+		Height:         height,
+		horizontalBase: width * (height - 1),
+	}, nil
+}
+
+// NumSegments returns the number of road segments (tasks).
+func (n *RoadNetwork) NumSegments() int {
+	vertical := n.Width * (n.Height - 1)
+	horizontal := (n.Width - 1) * n.Height
+	return vertical + horizontal
+}
+
+// segmentDown returns the task index of the segment below intersection
+// (x, y), i.e. between (x,y) and (x,y+1).
+func (n *RoadNetwork) segmentDown(x, y int) int {
+	return y*n.Width + x
+}
+
+// segmentRight returns the task index of the segment to the right of
+// intersection (x, y), i.e. between (x,y) and (x+1,y).
+func (n *RoadNetwork) segmentRight(x, y int) int {
+	return n.horizontalBase + y*(n.Width-1) + x
+}
+
+// Commute is a worker's route through the network.
+type Commute struct {
+	// Segments are the traversed segment (task) indices, sorted and
+	// deduplicated — the worker's bidding bundle.
+	Segments []int
+	// Length is the number of segment traversals (with repeats), a
+	// natural cost driver.
+	Length int
+}
+
+// RandomCommute draws an L-shaped commute (the Manhattan path of a
+// random origin-destination pair, as a taxi or commuter would drive):
+// horizontal to the destination column, then vertical to the
+// destination row. Origin and destination are distinct intersections.
+func (n *RoadNetwork) RandomCommute(r *rand.Rand) Commute {
+	ox, oy := r.Intn(n.Width), r.Intn(n.Height)
+	dx, dy := r.Intn(n.Width), r.Intn(n.Height)
+	for ox == dx && oy == dy {
+		dx, dy = r.Intn(n.Width), r.Intn(n.Height)
+	}
+	var segs []int
+	x, y := ox, oy
+	for x != dx {
+		if dx > x {
+			segs = append(segs, n.segmentRight(x, y))
+			x++
+		} else {
+			segs = append(segs, n.segmentRight(x-1, y))
+			x--
+		}
+	}
+	for y != dy {
+		if dy > y {
+			segs = append(segs, n.segmentDown(x, y))
+			y++
+		} else {
+			segs = append(segs, n.segmentDown(x, y-1))
+			y--
+		}
+	}
+	length := len(segs)
+	sort.Ints(segs)
+	segs = dedupeSortedInts(segs)
+	return Commute{Segments: segs, Length: length}
+}
+
+// dedupeSortedInts removes adjacent duplicates in place.
+func dedupeSortedInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// WorkloadParams configures InstanceFromNetwork.
+type WorkloadParams struct {
+	// Workers is the number of commuters.
+	Workers int
+	// Epsilon, cost range and per-segment error threshold.
+	Epsilon    float64
+	CMin, CMax float64
+	Delta      float64
+	// CostPerSegment prices a commute: cost = base + CostPerSegment *
+	// route length, clamped into [CMin, CMax] and snapped to the 0.1
+	// cost grid.
+	CostPerSegment float64
+	// SkillMin and SkillMax bound workers' per-segment accuracy.
+	SkillMin, SkillMax float64
+	// PriceLo, PriceHi, PriceStep define the candidate price grid.
+	PriceLo, PriceHi, PriceStep float64
+}
+
+// validate checks the parameters.
+func (p WorkloadParams) validate() error {
+	switch {
+	case p.Workers < 1:
+		return fmt.Errorf("%w: %d workers", ErrBadGrid, p.Workers)
+	case p.Epsilon <= 0:
+		return fmt.Errorf("%w: epsilon %v", ErrBadGrid, p.Epsilon)
+	case p.CMin < 0 || p.CMax < p.CMin:
+		return fmt.Errorf("%w: cost range [%v,%v]", ErrBadGrid, p.CMin, p.CMax)
+	case p.Delta <= 0 || p.Delta >= 1:
+		return fmt.Errorf("%w: delta %v", ErrBadGrid, p.Delta)
+	case p.SkillMin < 0 || p.SkillMax > 1 || p.SkillMax < p.SkillMin:
+		return fmt.Errorf("%w: skill range [%v,%v]", ErrBadGrid, p.SkillMin, p.SkillMax)
+	case p.PriceLo <= 0 || p.PriceHi < p.PriceLo || p.PriceStep <= 0:
+		return fmt.Errorf("%w: price grid", ErrBadGrid)
+	}
+	return nil
+}
+
+// InstanceFromNetwork draws a geotagging auction instance: every worker
+// gets a random commute as her bundle, a cost proportional to its
+// length, and a scalar accuracy applied to her segments. Returned
+// instances are valid by construction but not necessarily feasible —
+// spatially clustered commutes can leave remote segments uncovered,
+// which is realistic and should be handled by the caller (the paper's
+// feasible price set P excludes uncoverable configurations).
+func (n *RoadNetwork) InstanceFromNetwork(p WorkloadParams, r *rand.Rand) (core.Instance, error) {
+	if err := p.validate(); err != nil {
+		return core.Instance{}, err
+	}
+	k := n.NumSegments()
+	inst := core.Instance{
+		NumTasks:   k,
+		Thresholds: make([]float64, k),
+		Workers:    make([]core.Worker, p.Workers),
+		Skills:     make([][]float64, p.Workers),
+		Epsilon:    p.Epsilon,
+		CMin:       p.CMin,
+		CMax:       p.CMax,
+		PriceGrid:  core.PriceGridRange(p.PriceLo, p.PriceHi, p.PriceStep),
+	}
+	for j := range inst.Thresholds {
+		inst.Thresholds[j] = p.Delta
+	}
+	for i := 0; i < p.Workers; i++ {
+		commute := n.RandomCommute(r)
+		cost := p.CMin + p.CostPerSegment*float64(commute.Length)
+		if cost > p.CMax {
+			cost = p.CMax
+		}
+		cost = math.Round(cost*10) / 10
+		accuracy := p.SkillMin + r.Float64()*(p.SkillMax-p.SkillMin)
+		row := make([]float64, k)
+		for j := range row {
+			row[j] = 0.5 // uninformative off-route
+		}
+		for _, j := range commute.Segments {
+			row[j] = accuracy
+		}
+		inst.Workers[i] = core.Worker{
+			ID:     fmt.Sprintf("commuter-%03d", i),
+			Bundle: commute.Segments,
+			Bid:    cost,
+		}
+		inst.Skills[i] = row
+	}
+	if err := inst.Validate(); err != nil {
+		return core.Instance{}, fmt.Errorf("geo: generated instance invalid: %w", err)
+	}
+	return inst, nil
+}
+
+// CoverageHeat returns, per segment, how many workers' bundles include
+// it — the spatial demand-supply picture a platform would inspect when
+// tuning thresholds.
+func CoverageHeat(inst core.Instance) []int {
+	heat := make([]int, inst.NumTasks)
+	for _, w := range inst.Workers {
+		for _, j := range w.Bundle {
+			heat[j]++
+		}
+	}
+	return heat
+}

@@ -1,0 +1,239 @@
+package geo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+)
+
+func TestNewRoadNetworkValidation(t *testing.T) {
+	if _, err := NewRoadNetwork(1, 5); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("narrow grid: got %v", err)
+	}
+	if _, err := NewRoadNetwork(5, 1); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("short grid: got %v", err)
+	}
+	n, err := NewRoadNetwork(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x3 grid: vertical 4*(3-1)=8, horizontal (4-1)*3=9 -> 17.
+	if got := n.NumSegments(); got != 17 {
+		t.Errorf("segments = %d, want 17", got)
+	}
+}
+
+func TestSegmentIndicesDisjointAndComplete(t *testing.T) {
+	n, err := NewRoadNetwork(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for y := 0; y < n.Height-1; y++ {
+		for x := 0; x < n.Width; x++ {
+			idx := n.segmentDown(x, y)
+			if seen[idx] {
+				t.Fatalf("duplicate vertical segment index %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	for y := 0; y < n.Height; y++ {
+		for x := 0; x < n.Width-1; x++ {
+			idx := n.segmentRight(x, y)
+			if seen[idx] {
+				t.Fatalf("duplicate horizontal segment index %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != n.NumSegments() {
+		t.Fatalf("covered %d indices, want %d", len(seen), n.NumSegments())
+	}
+	for idx := range seen {
+		if idx < 0 || idx >= n.NumSegments() {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+}
+
+func TestRandomCommuteConnectsAndIsValid(t *testing.T) {
+	n, err := NewRoadNetwork(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		c := n.RandomCommute(r)
+		if len(c.Segments) == 0 {
+			t.Fatal("empty commute")
+		}
+		if c.Length < len(c.Segments) {
+			t.Fatalf("length %d below unique segments %d", c.Length, len(c.Segments))
+		}
+		prev := -1
+		for _, s := range c.Segments {
+			if s <= prev {
+				t.Fatalf("segments not sorted/unique: %v", c.Segments)
+			}
+			if s < 0 || s >= n.NumSegments() {
+				t.Fatalf("segment %d out of range", s)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestRandomCommuteQuick(t *testing.T) {
+	n, err := NewRoadNetwork(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		c := n.RandomCommute(rand.New(rand.NewSource(seed)))
+		// An L-shaped Manhattan route visits at most (W-1)+(H-1)
+		// segments.
+		return len(c.Segments) >= 1 && len(c.Segments) <= (n.Width-1)+(n.Height-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func defaultParams() WorkloadParams {
+	return WorkloadParams{
+		Workers:        150,
+		Epsilon:        0.1,
+		CMin:           5,
+		CMax:           60,
+		Delta:          0.4,
+		CostPerSegment: 2,
+		SkillMin:       0.8,
+		SkillMax:       0.95,
+		PriceLo:        20,
+		PriceHi:        60,
+		PriceStep:      0.5,
+	}
+}
+
+func TestInstanceFromNetwork(t *testing.T) {
+	n, err := NewRoadNetwork(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	inst, err := n.InstanceFromNetwork(defaultParams(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+	if inst.NumTasks != n.NumSegments() {
+		t.Errorf("tasks %d, want %d", inst.NumTasks, n.NumSegments())
+	}
+	// Off-route skills must be uninformative, on-route within range.
+	for i, w := range inst.Workers {
+		onRoute := make(map[int]bool)
+		for _, j := range w.Bundle {
+			onRoute[j] = true
+		}
+		for j, theta := range inst.Skills[i] {
+			if onRoute[j] {
+				if theta < 0.8 || theta > 0.95 {
+					t.Fatalf("worker %d on-route skill %v", i, theta)
+				}
+			} else if theta != 0.5 {
+				t.Fatalf("worker %d off-route skill %v, want 0.5", i, theta)
+			}
+		}
+		if w.Bid < inst.CMin || w.Bid > inst.CMax {
+			t.Fatalf("worker %d bid %v outside range", i, w.Bid)
+		}
+	}
+}
+
+func TestInstanceFromNetworkRunsAuction(t *testing.T) {
+	// End to end: a dense-enough commuter population admits a feasible
+	// DP-hSRC auction over the road network.
+	n, err := NewRoadNetwork(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	params := defaultParams()
+	params.Workers = 300
+	var auction *core.Auction
+	for attempt := 0; attempt < 10 && auction == nil; attempt++ {
+		inst, err := n.InstanceFromNetwork(params, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.New(inst)
+		if err == nil {
+			auction = a
+		} else if !errors.Is(err, core.ErrInfeasible) {
+			t.Fatal(err)
+		}
+	}
+	if auction == nil {
+		t.Fatal("no feasible geotagging instance in 10 attempts")
+	}
+	out := auction.Run(r)
+	if len(out.Winners) == 0 {
+		t.Fatal("no winners")
+	}
+}
+
+func TestInstanceFromNetworkValidation(t *testing.T) {
+	n, err := NewRoadNetwork(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	bad := defaultParams()
+	bad.Workers = 0
+	if _, err := n.InstanceFromNetwork(bad, r); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("zero workers: got %v", err)
+	}
+	bad = defaultParams()
+	bad.Delta = 1
+	if _, err := n.InstanceFromNetwork(bad, r); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("delta 1: got %v", err)
+	}
+	bad = defaultParams()
+	bad.SkillMax = 1.2
+	if _, err := n.InstanceFromNetwork(bad, r); !errors.Is(err, ErrBadGrid) {
+		t.Errorf("skill range: got %v", err)
+	}
+}
+
+func TestCoverageHeat(t *testing.T) {
+	n, err := NewRoadNetwork(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	inst, err := n.InstanceFromNetwork(defaultParams(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := CoverageHeat(inst)
+	if len(heat) != inst.NumTasks {
+		t.Fatalf("heat length %d", len(heat))
+	}
+	total := 0
+	for _, h := range heat {
+		total += h
+	}
+	wantTotal := 0
+	for _, w := range inst.Workers {
+		wantTotal += len(w.Bundle)
+	}
+	if total != wantTotal {
+		t.Errorf("heat sum %d, want %d", total, wantTotal)
+	}
+}

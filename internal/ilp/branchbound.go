@@ -1,0 +1,288 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/lp"
+)
+
+// Result reports the outcome of an exact solve.
+type Result struct {
+	// Selected is the best cover found (candidate indices, sorted).
+	Selected []int
+	// Feasible reports whether any cover exists at all.
+	Feasible bool
+	// Proven reports whether Selected was proven minimum-cardinality.
+	// It is false when the node/time budget expired first, in which
+	// case Selected is the best incumbent found.
+	Proven bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// LPCalls is the number of LP relaxations solved.
+	LPCalls int
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+}
+
+// Options bound the search effort.
+type Options struct {
+	// TimeBudget, if positive, aborts the proof of optimality after
+	// this much wall-clock time and returns the incumbent.
+	TimeBudget time.Duration
+	// MaxNodes, if positive, bounds the number of explored nodes.
+	MaxNodes int
+	// TotalBudget, if positive, bounds the aggregate wall-clock time of
+	// an Optimal computation across all of its per-price exact solves;
+	// once exhausted, remaining prices keep their greedy incumbents and
+	// the result is marked unproven. It has no effect on a single
+	// Solve call.
+	TotalBudget time.Duration
+}
+
+// Solve finds a minimum-cardinality cover by depth-first
+// branch-and-bound: at every node it solves the LP relaxation of the
+// residual problem (with x_i <= 1) for a lower bound, prunes against
+// the incumbent, and branches on the most fractional variable,
+// exploring the x=1 child first so good incumbents appear early.
+func Solve(p *CoverProblem, opts Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res := Result{}
+	if !p.Feasible() {
+		res.Elapsed = time.Since(start)
+		res.Proven = true
+		return res, nil
+	}
+	res.Feasible = true
+
+	incumbent, ok := p.Greedy()
+	if !ok {
+		// Feasible() passed, so greedy must cover; defensive.
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	s := &searcher{
+		p:         p,
+		bestSet:   append([]int(nil), incumbent...),
+		bestCard:  len(incumbent),
+		deadline:  time.Time{},
+		maxNodes:  opts.MaxNodes,
+		completed: true,
+	}
+	if opts.TimeBudget > 0 {
+		s.deadline = start.Add(opts.TimeBudget)
+	}
+
+	residual := append([]float64(nil), p.Demands...)
+	state := make([]int8, p.NumCandidates()) // 0 undecided, 1 in, -1 out
+	s.dfs(residual, state, 0)
+
+	sort.Ints(s.bestSet)
+	res.Selected = s.bestSet
+	res.Proven = s.completed
+	res.Nodes = s.nodes
+	res.LPCalls = s.lpCalls
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// searcher carries the mutable branch-and-bound state.
+type searcher struct {
+	p         *CoverProblem
+	bestSet   []int
+	bestCard  int
+	nodes     int
+	lpCalls   int
+	deadline  time.Time
+	maxNodes  int
+	completed bool
+	cur       []int // current partial selection
+}
+
+// budgetExceeded checks node and time budgets. Time is checked on
+// every node: a single node's LP relaxation can take seconds on large
+// instances, so sampling every N nodes would overshoot the budget by
+// minutes, and a clock read is free next to an LP solve.
+func (s *searcher) budgetExceeded() bool {
+	if s.maxNodes > 0 && s.nodes >= s.maxNodes {
+		return true
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// dfs explores the node where candidates are decided per state and
+// residual reflects the committed selections; selectedCount ==
+// len(s.cur).
+func (s *searcher) dfs(residual []float64, state []int8, selectedCount int) {
+	s.nodes++
+	if s.budgetExceeded() {
+		s.completed = false
+		return
+	}
+	if covered(residual) {
+		if selectedCount < s.bestCard {
+			s.bestCard = selectedCount
+			s.bestSet = append(s.bestSet[:0], s.cur...)
+		}
+		return
+	}
+	if selectedCount+1 >= s.bestCard {
+		return // even one more candidate cannot beat the incumbent
+	}
+
+	// Check residual feasibility over undecided candidates and compute
+	// the LP lower bound.
+	lb, frac, feasible := s.lowerBound(residual, state)
+	if !feasible {
+		return
+	}
+	if selectedCount+lb >= s.bestCard {
+		return
+	}
+	branch := s.pickBranch(residual, state, frac)
+	if branch < 0 {
+		return
+	}
+
+	// Child 1: include the branch candidate.
+	saved := append([]float64(nil), residual...)
+	state[branch] = 1
+	s.cur = append(s.cur, branch)
+	s.p.applyCandidate(branch, residual)
+	s.dfs(residual, state, selectedCount+1)
+	copy(residual, saved)
+	s.cur = s.cur[:len(s.cur)-1]
+
+	// Child 2: exclude it.
+	state[branch] = -1
+	s.dfs(residual, state, selectedCount)
+	state[branch] = 0
+}
+
+// lowerBound solves the LP relaxation over undecided candidates:
+// min sum x_i s.t. sum q_ij x_i >= residual_j, 0 <= x_i <= 1. It
+// returns ceil(obj) as an integer lower bound, the fractional solution
+// mapped back to candidate indices, and whether the residual problem is
+// feasible at all.
+func (s *searcher) lowerBound(residual []float64, state []int8) (int, map[int]float64, bool) {
+	var undecided []int
+	for i, st := range state {
+		if st == 0 {
+			undecided = append(undecided, i)
+		}
+	}
+	// Fast feasibility pre-check (cheaper than an LP infeasibility
+	// proof): can the undecided candidates cover the residual?
+	cover := make([]float64, s.p.NumTasks)
+	for _, i := range undecided {
+		for k, j := range s.p.Bundles[i] {
+			cover[j] += s.p.Quals[i][k]
+		}
+	}
+	for j, r := range residual {
+		if r > demandTol && cover[j] < r-demandTol {
+			return 0, nil, false
+		}
+	}
+
+	n := len(undecided)
+	if n == 0 {
+		return 0, nil, covered(residual)
+	}
+
+	// Build the LP: one >= row per uncovered task, one <= 1 row per
+	// variable.
+	var constraints []lp.Constraint
+	activeTasks := 0
+	for j, r := range residual {
+		if r <= demandTol {
+			continue
+		}
+		activeTasks++
+		coeffs := make([]float64, n)
+		for vi, i := range undecided {
+			for k, t := range s.p.Bundles[i] {
+				if t == j {
+					// Cap at the residual demand: equivalent for 0/1
+					// solutions (a single selection can never usefully
+					// contribute more than the remaining demand) but
+					// strictly tighter for the relaxation, since the LP
+					// can no longer satisfy the row with a tiny
+					// fraction of one high-quality candidate.
+					coeffs[vi] = math.Min(s.p.Quals[i][k], r)
+					break
+				}
+			}
+		}
+		constraints = append(constraints, lp.Constraint{Coeffs: coeffs, Rel: lp.GE, RHS: r})
+	}
+	if activeTasks == 0 {
+		return 0, nil, true
+	}
+	for vi := 0; vi < n; vi++ {
+		coeffs := make([]float64, n)
+		coeffs[vi] = 1
+		constraints = append(constraints, lp.Constraint{Coeffs: coeffs, Rel: lp.LE, RHS: 1})
+	}
+	objective := make([]float64, n)
+	for i := range objective {
+		objective[i] = 1
+	}
+	s.lpCalls++
+	sol, err := lp.Solve(lp.Problem{Objective: objective, Constraints: constraints, MaxIterations: boundLPIterCap})
+	if err != nil || sol.Status != lp.Optimal {
+		// LP breakdown: fall back to the trivial bound of 1 so the
+		// search stays correct (just less pruned).
+		return 1, nil, true
+	}
+	frac := make(map[int]float64, n)
+	for vi, i := range undecided {
+		frac[i] = sol.X[vi]
+	}
+	lb := int(math.Ceil(sol.Objective - 1e-6))
+	if lb < 1 {
+		lb = 1
+	}
+	return lb, frac, true
+}
+
+// pickBranch chooses the branching candidate: the most fractional LP
+// variable, falling back to the largest-marginal-gain undecided
+// candidate when the LP solution is integral or unavailable.
+func (s *searcher) pickBranch(residual []float64, state []int8, frac map[int]float64) int {
+	best := -1
+	bestScore := -1.0
+	for i, x := range frac {
+		if state[i] != 0 {
+			continue
+		}
+		score := 0.5 - math.Abs(x-0.5)
+		if score > 0.01 && score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	bestGain := 0.0
+	for i, st := range state {
+		if st != 0 {
+			continue
+		}
+		g := s.p.gain(i, residual)
+		if g > bestGain {
+			bestGain = g
+			best = i
+		}
+	}
+	return best
+}

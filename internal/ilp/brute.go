@@ -1,0 +1,80 @@
+package ilp
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrTooLarge reports that an instance exceeds the brute-force size
+// cap.
+var ErrTooLarge = errors.New("ilp: instance too large for brute force")
+
+// bruteForceCap bounds the candidate count accepted by BruteForce; the
+// enumeration is exponential and exists only to validate Solve on small
+// instances.
+const bruteForceCap = 24
+
+// BruteForce finds a minimum-cardinality cover by enumerating candidate
+// subsets in increasing cardinality, returning the first cover found
+// (which is therefore minimum). It accepts at most bruteForceCap
+// candidates.
+func BruteForce(p *CoverProblem) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := p.NumCandidates()
+	if n > bruteForceCap {
+		return Result{}, ErrTooLarge
+	}
+	res := Result{}
+	if !p.Feasible() {
+		res.Proven = true
+		return res, nil
+	}
+	res.Feasible = true
+	res.Proven = true
+
+	if covered(p.Demands) {
+		res.Selected = []int{}
+		return res, nil
+	}
+
+	subset := make([]int, 0, n)
+	residual := make([]float64, p.NumTasks)
+	for k := 1; k <= n; k++ {
+		if found := enumerate(p, subset, 0, k, residual); found != nil {
+			sel := append([]int(nil), found...)
+			sort.Ints(sel)
+			res.Selected = sel
+			return res, nil
+		}
+	}
+	// Feasible() guarantees the full set covers, so this is unreachable;
+	// return defensively.
+	res.Feasible = false
+	return res, nil
+}
+
+// enumerate recursively builds subsets of exact size k starting at
+// index from, returning the first covering subset found.
+func enumerate(p *CoverProblem, subset []int, from, k int, residual []float64) []int {
+	if len(subset) == k {
+		copy(residual, p.Demands)
+		for _, i := range subset {
+			p.applyCandidate(i, residual)
+		}
+		if covered(residual) {
+			return subset
+		}
+		return nil
+	}
+	need := k - len(subset)
+	for i := from; i+need <= p.NumCandidates(); i++ {
+		subset = append(subset, i)
+		if found := enumerate(p, subset, i+1, k, residual); found != nil {
+			return found
+		}
+		subset = subset[:len(subset)-1]
+	}
+	return nil
+}

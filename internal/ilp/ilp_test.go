@@ -1,0 +1,212 @@
+package ilp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomCover draws a random covering instance with n candidates and k
+// tasks; demand levels are scaled so instances are usually feasible but
+// not trivially so.
+func randomCover(r *rand.Rand, n, k int) *CoverProblem {
+	p := &CoverProblem{
+		NumTasks: k,
+		Demands:  make([]float64, k),
+		Bundles:  make([][]int, n),
+		Quals:    make([][]float64, n),
+	}
+	for j := range p.Demands {
+		p.Demands[j] = 0.5 + r.Float64()*1.5
+	}
+	for i := 0; i < n; i++ {
+		size := 1 + r.Intn(k)
+		perm := r.Perm(k)[:size]
+		sortInts(perm)
+		p.Bundles[i] = perm
+		quals := make([]float64, size)
+		for idx := range quals {
+			quals[idx] = 0.1 + r.Float64()*0.7
+		}
+		p.Quals[i] = quals
+	}
+	return p
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}
+
+func coversAll(p *CoverProblem, sel []int) bool {
+	residual := append([]float64(nil), p.Demands...)
+	for _, i := range sel {
+		p.applyCandidate(i, residual)
+	}
+	return covered(residual)
+}
+
+func TestValidate(t *testing.T) {
+	good := &CoverProblem{
+		NumTasks: 2,
+		Demands:  []float64{1, 1},
+		Bundles:  [][]int{{0, 1}},
+		Quals:    [][]float64{{0.5, 0.5}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	bads := []*CoverProblem{
+		{NumTasks: 0},
+		{NumTasks: 2, Demands: []float64{1}},
+		{NumTasks: 1, Demands: []float64{-1}},
+		{NumTasks: 1, Demands: []float64{1}, Bundles: [][]int{{0}}, Quals: nil},
+		{NumTasks: 1, Demands: []float64{1}, Bundles: [][]int{{0, 1}}, Quals: [][]float64{{0.5}}},
+		{NumTasks: 1, Demands: []float64{1}, Bundles: [][]int{{5}}, Quals: [][]float64{{0.5}}},
+		{NumTasks: 1, Demands: []float64{1}, Bundles: [][]int{{0}}, Quals: [][]float64{{-0.5}}},
+	}
+	for i, b := range bads {
+		if err := b.Validate(); !errors.Is(err, ErrBadProblem) {
+			t.Errorf("case %d: want ErrBadProblem, got %v", i, err)
+		}
+	}
+}
+
+func TestGreedyCovers(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p := randomCover(r, 4+r.Intn(10), 2+r.Intn(4))
+		sel, ok := p.Greedy()
+		if ok != p.Feasible() {
+			t.Fatalf("greedy feasibility %v disagrees with Feasible() %v", ok, p.Feasible())
+		}
+		if ok && !coversAll(p, sel) {
+			t.Fatal("greedy claims cover but demands unmet")
+		}
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 40; trial++ {
+		p := randomCover(r, 4+r.Intn(8), 2+r.Intn(3))
+		exact, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := BruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Feasible != brute.Feasible {
+			t.Fatalf("trial %d: feasibility disagreement", trial)
+		}
+		if !exact.Feasible {
+			continue
+		}
+		if !exact.Proven {
+			t.Fatalf("trial %d: unproven on tiny instance", trial)
+		}
+		if len(exact.Selected) != len(brute.Selected) {
+			t.Fatalf("trial %d: B&B cardinality %d vs brute %d", trial, len(exact.Selected), len(brute.Selected))
+		}
+		if !coversAll(p, exact.Selected) {
+			t.Fatalf("trial %d: B&B solution does not cover", trial)
+		}
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &CoverProblem{
+		NumTasks: 2,
+		Demands:  []float64{5, 5},
+		Bundles:  [][]int{{0}},
+		Quals:    [][]float64{{0.5}},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || !res.Proven {
+		t.Fatalf("want infeasible+proven, got %+v", res)
+	}
+}
+
+func TestSolveZeroDemand(t *testing.T) {
+	p := &CoverProblem{
+		NumTasks: 2,
+		Demands:  []float64{0, 0},
+		Bundles:  [][]int{{0}},
+		Quals:    [][]float64{{0.5}},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || len(res.Selected) != 0 {
+		t.Fatalf("zero demand should need no candidates: %+v", res)
+	}
+}
+
+func TestSolveNodeBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := randomCover(r, 30, 8)
+	if !p.Feasible() {
+		t.Skip("random instance infeasible")
+	}
+	res, err := Solve(p, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one node the search cannot prove optimality but must still
+	// return the greedy incumbent, which covers.
+	if !res.Feasible || !coversAll(p, res.Selected) {
+		t.Fatalf("budgeted solve lost the incumbent: %+v", res)
+	}
+}
+
+func TestSolveTimeBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	p := randomCover(r, 40, 10)
+	if !p.Feasible() {
+		t.Skip("random instance infeasible")
+	}
+	start := time.Now()
+	res, err := Solve(p, Options{TimeBudget: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("time budget ignored")
+	}
+	if res.Feasible && !coversAll(p, res.Selected) {
+		t.Fatal("budgeted solution does not cover")
+	}
+}
+
+func TestBruteForceTooLarge(t *testing.T) {
+	p := randomCover(rand.New(rand.NewSource(7)), bruteForceCap+1, 2)
+	if _, err := BruteForce(p); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestSolveSelectionSortedAndUnique(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		p := randomCover(r, 10, 3)
+		res, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Selected); i++ {
+			if res.Selected[i] <= res.Selected[i-1] {
+				t.Fatalf("selection not sorted/unique: %v", res.Selected)
+			}
+		}
+	}
+}

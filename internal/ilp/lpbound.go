@@ -1,0 +1,74 @@
+package ilp
+
+import (
+	"math"
+
+	"github.com/dphsrc/dphsrc/internal/lp"
+)
+
+// boundLPIterCap caps simplex pivots per relaxation solve inside the
+// exact solver: a bound that takes thousands of pivots is not worth its
+// cost, and the search degrades gracefully to a weaker bound.
+const boundLPIterCap = 3000
+
+// LPLowerBound solves the LP relaxation of the whole cover problem
+// (min sum x, coverage rows, 0 <= x <= 1) and returns
+// ceil(objective) as an integer lower bound on the minimum cover
+// cardinality. ok is false when the relaxation could not be solved
+// (infeasible problem or numerical breakdown), in which case the bound
+// is meaningless.
+//
+// The exact-optimum driver uses this as a cheap prescreen: a candidate
+// price whose LP bound already exceeds the incumbent payment can skip
+// the full branch-and-bound entirely.
+func (p *CoverProblem) LPLowerBound() (bound int, ok bool) {
+	n := p.NumCandidates()
+	if n == 0 {
+		if covered(p.Demands) {
+			return 0, true
+		}
+		return 0, false
+	}
+	var constraints []lp.Constraint
+	active := 0
+	for j, d := range p.Demands {
+		if d <= demandTol {
+			continue
+		}
+		active++
+		coeffs := make([]float64, n)
+		for i := range p.Bundles {
+			for k, t := range p.Bundles[i] {
+				if t == j {
+					// Cap at the demand: equivalent for 0/1 solutions,
+					// strictly tighter for the relaxation (see the
+					// branch-and-bound's lowerBound).
+					coeffs[i] = math.Min(p.Quals[i][k], d)
+					break
+				}
+			}
+		}
+		constraints = append(constraints, lp.Constraint{Coeffs: coeffs, Rel: lp.GE, RHS: d})
+	}
+	if active == 0 {
+		return 0, true
+	}
+	for i := 0; i < n; i++ {
+		coeffs := make([]float64, n)
+		coeffs[i] = 1
+		constraints = append(constraints, lp.Constraint{Coeffs: coeffs, Rel: lp.LE, RHS: 1})
+	}
+	objective := make([]float64, n)
+	for i := range objective {
+		objective[i] = 1
+	}
+	sol, err := lp.Solve(lp.Problem{Objective: objective, Constraints: constraints, MaxIterations: boundLPIterCap})
+	if err != nil || sol.Status != lp.Optimal {
+		return 0, false
+	}
+	b := int(math.Ceil(sol.Objective - 1e-6))
+	if b < 1 {
+		b = 1
+	}
+	return b, true
+}

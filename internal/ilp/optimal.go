@@ -1,0 +1,228 @@
+package ilp
+
+import (
+	"sort"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+)
+
+// OptimalResult is the exact single-price optimum R_OPT =
+// min_{p in P} p * |S_OPT(p)| (Equation 6 of the paper) for one
+// instance.
+type OptimalResult struct {
+	// Price is the optimal clearing price p*.
+	Price float64
+	// Winners is S_OPT(p*) as indices into the instance's workers.
+	Winners []int
+	// TotalPayment is Price * len(Winners).
+	TotalPayment float64
+	// LowerBound is a certified lower bound on R_OPT: the minimum over
+	// all feasible candidate prices of price times the LP-relaxation
+	// bound on the cover cardinality. When Proven is true,
+	// LowerBound <= TotalPayment with TotalPayment exact; when the
+	// budget expired, [LowerBound, TotalPayment] brackets R_OPT.
+	LowerBound float64
+	// Proven reports whether every sub-solve that could have affected
+	// the optimum was proven exact; when false the result is an upper
+	// bound on R_OPT obtained within the budget.
+	Proven bool
+	// Feasible reports whether any feasible price exists.
+	Feasible bool
+	// Solves counts exact TPM solves performed; Nodes and LPCalls
+	// aggregate over them.
+	Solves  int
+	Nodes   int
+	LPCalls int
+	Elapsed time.Duration
+}
+
+// Optimal computes R_OPT for the instance: for each distinct candidate
+// set induced by the price grid (workers bidding at most the price), it
+// solves the minimum-cardinality TPM problem exactly and takes the
+// cheapest price-cardinality product. Winner sets only change at bid
+// values, so at most min(N, |grid|) exact solves are needed; a
+// greedy upper bound and an LP lower bound prune solves that cannot
+// beat the incumbent. opts bounds the effort of each individual exact
+// solve.
+func Optimal(inst core.Instance, opts Options) (OptimalResult, error) {
+	if err := inst.Validate(); err != nil {
+		return OptimalResult{}, err
+	}
+	start := time.Now()
+
+	n := len(inst.Workers)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return inst.Workers[order[a]].Bid < inst.Workers[order[b]].Bid
+	})
+	bids := make([]float64, n)
+	for k, i := range order {
+		bids[k] = inst.Workers[i].Bid
+	}
+
+	// Map each distinct candidate count to the cheapest grid price that
+	// induces it.
+	minPriceByCount := make(map[int]float64)
+	var counts []int
+	for _, x := range inst.PriceGrid {
+		count := sort.SearchFloat64s(bids, x+1e-9)
+		if _, seen := minPriceByCount[count]; !seen {
+			minPriceByCount[count] = x
+			counts = append(counts, count)
+		}
+	}
+	// Pass 1 (cheap prescreen): for every distinct candidate count,
+	// compute a greedy upper bound and an LP lower bound on the cover
+	// cardinality. The greedy bounds seed the incumbent payment; the LP
+	// bounds let pass 2 skip exact solves that cannot win.
+	type candidate struct {
+		count    int
+		price    float64
+		sub      *CoverProblem
+		greedy   []int
+		lowBound int
+	}
+	var cands []candidate
+	res := OptimalResult{Proven: true}
+	best := OptimalResult{}
+	haveBest := false
+	globalLB := 0.0
+	haveLB := false
+	// The prescreen LPs count against half the total budget so a tight
+	// budget still leaves time for at least one exact solve.
+	var prescreenDeadline time.Time
+	if opts.TotalBudget > 0 {
+		prescreenDeadline = start.Add(opts.TotalBudget / 2)
+	}
+	for _, count := range counts {
+		price := minPriceByCount[count]
+		sub := subProblem(&inst, order[:count])
+		if !sub.Feasible() {
+			continue
+		}
+		greedy, ok := sub.Greedy()
+		if !ok {
+			continue
+		}
+		lb := 1
+		if prescreenDeadline.IsZero() || time.Now().Before(prescreenDeadline) {
+			if b, lpOK := sub.LPLowerBound(); lpOK {
+				lb = b
+			}
+			res.LPCalls++
+		} else {
+			// Budget exhausted mid-prescreen: the trivial bound keeps
+			// the bracket valid but the result can no longer be proven.
+			res.Proven = false
+		}
+		if cl := price * float64(lb); !haveLB || cl < globalLB {
+			globalLB = cl
+			haveLB = true
+		}
+		if ub := price * float64(len(greedy)); !haveBest || ub < best.TotalPayment {
+			winners := localToGlobal(greedy, order[:count])
+			best = OptimalResult{Price: price, Winners: winners, TotalPayment: ub, Feasible: true}
+			haveBest = true
+		}
+		cands = append(cands, candidate{count: count, price: price, sub: sub, greedy: greedy, lowBound: lb})
+	}
+
+	// Pass 2: exact solves in ascending order of optimistic payment
+	// price*LP-bound; once the optimistic payment of the next candidate
+	// reaches the incumbent, everything after it is pruned too.
+	sort.SliceStable(cands, func(a, b int) bool {
+		return cands[a].price*float64(cands[a].lowBound) < cands[b].price*float64(cands[b].lowBound)
+	})
+	var deadline time.Time
+	if opts.TotalBudget > 0 {
+		deadline = start.Add(opts.TotalBudget)
+	}
+	for _, c := range cands {
+		if haveBest && c.price*float64(c.lowBound) >= best.TotalPayment-1e-9 {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Proven = false
+			break
+		}
+		solveOpts := opts
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if solveOpts.TimeBudget <= 0 || solveOpts.TimeBudget > remaining {
+				solveOpts.TimeBudget = remaining
+			}
+		}
+		sr, err := Solve(c.sub, solveOpts)
+		if err != nil {
+			return OptimalResult{}, err
+		}
+		res.Solves++
+		res.Nodes += sr.Nodes
+		res.LPCalls += sr.LPCalls
+		if !sr.Proven {
+			res.Proven = false
+		}
+		payment := c.price * float64(len(sr.Selected))
+		if !haveBest || payment < best.TotalPayment {
+			best = OptimalResult{
+				Price:        c.price,
+				Winners:      localToGlobal(sr.Selected, order[:c.count]),
+				TotalPayment: payment,
+				Feasible:     true,
+			}
+			haveBest = true
+		}
+	}
+
+	if !haveBest {
+		return OptimalResult{Feasible: false, Proven: true, Elapsed: time.Since(start)}, nil
+	}
+	best.Proven = res.Proven
+	best.LowerBound = globalLB
+	if best.Proven && best.LowerBound > best.TotalPayment {
+		// The exact optimum is itself the tightest certificate.
+		best.LowerBound = best.TotalPayment
+	}
+	best.Solves = res.Solves
+	best.Nodes = res.Nodes
+	best.LPCalls = res.LPCalls
+	best.Elapsed = time.Since(start)
+	return best, nil
+}
+
+// localToGlobal maps local candidate indices back to worker indices.
+func localToGlobal(local, candidates []int) []int {
+	out := make([]int, len(local))
+	for k, l := range local {
+		out[k] = candidates[l]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// subProblem projects the instance onto the given candidate workers
+// (global indices); the returned problem's candidate i corresponds to
+// candidates[i].
+func subProblem(inst *core.Instance, candidates []int) *CoverProblem {
+	p := &CoverProblem{
+		NumTasks: inst.NumTasks,
+		Demands:  inst.Demands(),
+		Bundles:  make([][]int, len(candidates)),
+		Quals:    make([][]float64, len(candidates)),
+	}
+	for local, g := range candidates {
+		w := inst.Workers[g]
+		p.Bundles[local] = append([]int(nil), w.Bundle...)
+		quals := make([]float64, len(w.Bundle))
+		for k, j := range w.Bundle {
+			d := 2*inst.Skills[g][j] - 1
+			quals[k] = d * d
+		}
+		p.Quals[local] = quals
+	}
+	return p
+}

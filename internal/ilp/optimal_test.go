@@ -1,0 +1,226 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+)
+
+// smallInstance builds a feasible core instance small enough for exact
+// optimization in tests.
+func smallInstance(r *rand.Rand, n, k int) core.Instance {
+	inst := core.Instance{
+		NumTasks:   k,
+		Thresholds: make([]float64, k),
+		Workers:    make([]core.Worker, n),
+		Skills:     make([][]float64, n),
+		Epsilon:    0.1,
+		CMin:       10,
+		CMax:       60,
+		PriceGrid:  core.PriceGridRange(20, 60, 2),
+	}
+	for j := range inst.Thresholds {
+		inst.Thresholds[j] = 0.25 + 0.15*r.Float64()
+	}
+	for i := 0; i < n; i++ {
+		size := 1 + r.Intn(k)
+		perm := r.Perm(k)[:size]
+		sortInts(perm)
+		inst.Workers[i] = core.Worker{
+			Bundle: perm,
+			Bid:    10 + math.Floor(r.Float64()*500)/10,
+		}
+		row := make([]float64, k)
+		for j := range row {
+			row[j] = 0.75 + 0.2*r.Float64()
+		}
+		inst.Skills[i] = row
+	}
+	return inst
+}
+
+func TestOptimalNeverWorseThanGreedyAuction(t *testing.T) {
+	// R_OPT must be at most the payment of the greedy winner set at any
+	// feasible price; in particular at most the cheapest greedy payment.
+	r := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 30 && checked < 15; trial++ {
+		inst := smallInstance(r, 10, 3)
+		a, err := core.New(inst)
+		if err != nil {
+			continue
+		}
+		opt, err := Optimal(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Feasible {
+			t.Fatal("auction feasible but Optimal reports infeasible")
+		}
+		if !opt.Proven {
+			t.Fatal("tiny instance should be proven")
+		}
+		minGreedy := math.Inf(1)
+		for _, info := range a.Support() {
+			if info.Payment < minGreedy {
+				minGreedy = info.Payment
+			}
+		}
+		if opt.TotalPayment > minGreedy+1e-6 {
+			t.Fatalf("R_OPT %v exceeds best greedy payment %v", opt.TotalPayment, minGreedy)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d feasible instances checked", checked)
+	}
+}
+
+func TestOptimalWinnersCoverAndRespectPrice(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	checked := 0
+	for trial := 0; trial < 30 && checked < 10; trial++ {
+		inst := smallInstance(r, 9, 3)
+		opt, err := Optimal(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Feasible {
+			continue
+		}
+		for j := 0; j < inst.NumTasks; j++ {
+			sum := 0.0
+			for _, w := range opt.Winners {
+				sum += inst.Quality(w, j)
+			}
+			if sum < inst.Demand(j)-1e-6 {
+				t.Fatalf("optimal winners violate error bound on task %d", j)
+			}
+		}
+		for _, w := range opt.Winners {
+			if inst.Workers[w].Bid > opt.Price+1e-9 {
+				t.Fatalf("optimal winner %d bids %v above price %v", w, inst.Workers[w].Bid, opt.Price)
+			}
+		}
+		if got := opt.Price * float64(len(opt.Winners)); math.Abs(got-opt.TotalPayment) > 1e-9 {
+			t.Fatalf("payment inconsistency: %v vs %v", got, opt.TotalPayment)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Fatalf("only %d feasible instances checked", checked)
+	}
+}
+
+func TestOptimalLowerBoundBrackets(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	checked := 0
+	for trial := 0; trial < 30 && checked < 10; trial++ {
+		inst := smallInstance(r, 10, 3)
+		opt, err := Optimal(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.Feasible {
+			continue
+		}
+		if opt.LowerBound > opt.TotalPayment+1e-9 {
+			t.Fatalf("lower bound %v above payment %v", opt.LowerBound, opt.TotalPayment)
+		}
+		if opt.LowerBound <= 0 {
+			t.Fatalf("vacuous lower bound %v", opt.LowerBound)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Fatalf("only %d feasible instances", checked)
+	}
+}
+
+func TestOptimalInfeasibleInstance(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	inst := smallInstance(r, 3, 4)
+	for j := range inst.Thresholds {
+		inst.Thresholds[j] = 1e-6 // impossible demand
+	}
+	opt, err := Optimal(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Feasible {
+		t.Fatal("want infeasible")
+	}
+}
+
+// TestLemma2ApproximationBound verifies the borrowed Lemma 2 bound:
+// |S(p)| <= 2*beta*H_m*|S_OPT(p)| at the cheapest feasible grid price,
+// where beta = max_i sum_j q_ij and H_m is the harmonic number of
+// m = (sum_j Q_j)/delta_q with delta_q the unit measure of q and Q.
+func TestLemma2ApproximationBound(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	checked := 0
+	for trial := 0; trial < 30 && checked < 10; trial++ {
+		inst := smallInstance(r, 10, 3)
+		a, err := core.New(inst)
+		if err != nil {
+			continue
+		}
+		support := a.Support()
+		info := support[0] // cheapest feasible price
+
+		// Exact cover at the same price.
+		var cands []int
+		for i, w := range inst.Workers {
+			if w.Bid <= info.Price+1e-9 {
+				cands = append(cands, i)
+			}
+		}
+		sub := subProblem(&inst, cands)
+		exact, err := Solve(sub, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact.Feasible || !exact.Proven {
+			continue
+		}
+
+		beta := 0.0
+		for i := range inst.Workers {
+			sum := 0.0
+			for j := 0; j < inst.NumTasks; j++ {
+				sum += inst.Quality(i, j)
+			}
+			if sum > beta {
+				beta = sum
+			}
+		}
+		// Unit measure: the coarsest grid all q and Q live on is bounded
+		// below by the smallest positive entry; use it for delta_q.
+		deltaQ := math.Inf(1)
+		totalQ := 0.0
+		for j := 0; j < inst.NumTasks; j++ {
+			totalQ += inst.Demand(j)
+			for i := range inst.Workers {
+				if q := inst.Quality(i, j); q > 1e-12 && q < deltaQ {
+					deltaQ = q
+				}
+			}
+		}
+		m := totalQ / deltaQ
+		hm := 0.0
+		for v := 1; v <= int(math.Ceil(m)); v++ {
+			hm += 1 / float64(v)
+		}
+		bound := 2 * beta * hm * float64(len(exact.Selected))
+		if float64(len(info.Winners)) > bound+1e-9 {
+			t.Fatalf("Lemma 2 violated: |S|=%d > bound %v (|S_OPT|=%d, beta=%v, Hm=%v)",
+				len(info.Winners), bound, len(exact.Selected), beta, hm)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}

@@ -1,0 +1,484 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in inequality form. It is the substrate beneath the
+// exact Total-Payment-Minimization solver (internal/ilp): the paper
+// computes its "Optimal" baseline with the GUROBI solver, which is not
+// available here, so the branch-and-bound in internal/ilp uses this
+// solver for its relaxation lower bounds.
+//
+// The solver handles
+//
+//	min (or max) c.x
+//	subject to  a_k.x {<=,=,>=} b_k   for each constraint k
+//	            x >= 0
+//
+// with Dantzig pricing and an automatic switch to Bland's rule to
+// guarantee termination under degeneracy.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one linear constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // a.x <= b
+	GE                 // a.x >= b
+	EQ                 // a.x == b
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint is one row a.x (Rel) b. Coeffs must have exactly one entry
+// per decision variable.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative decision variables.
+type Problem struct {
+	// Objective holds the cost coefficient per variable.
+	Objective []float64
+	// Maximize flips the sense of optimization (default: minimize).
+	Maximize bool
+	// Constraints are the rows.
+	Constraints []Constraint
+	// MaxIterations, if positive, caps total simplex pivots; Solve
+	// returns ErrIterationCap when exceeded. Zero applies a generous
+	// size-based default.
+	MaxIterations int
+}
+
+// Status reports how a solve terminated.
+type Status int
+
+// Solve statuses.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve. X and Objective are only
+// meaningful when Status == Optimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Errors returned by Solve.
+var (
+	ErrMalformed     = errors.New("lp: malformed problem")
+	ErrIterationCap  = errors.New("lp: iteration cap exceeded")
+	errNumericalZero = errors.New("lp: pivot element numerically zero")
+)
+
+const (
+	pivotTol = 1e-9
+	feasTol  = 1e-7
+	// blandAfter switches pricing from Dantzig to Bland's rule after
+	// this many consecutive degenerate pivots, guaranteeing
+	// termination.
+	blandAfter = 64
+)
+
+// Solve optimizes the problem with two-phase primal simplex.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return Solution{}, fmt.Errorf("%w: no variables", ErrMalformed)
+	}
+	for k, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return Solution{}, fmt.Errorf("%w: constraint %d has %d coeffs for %d vars", ErrMalformed, k, len(c.Coeffs), n)
+		}
+		if math.IsNaN(c.RHS) {
+			return Solution{}, fmt.Errorf("%w: constraint %d has NaN rhs", ErrMalformed, k)
+		}
+	}
+
+	t := newTableau(p)
+	sol, err := t.run()
+	if err != nil {
+		return Solution{}, err
+	}
+	return sol, nil
+}
+
+// tableau is the dense working state of a solve.
+type tableau struct {
+	n        int // decision variables
+	m        int // rows
+	numCols  int // total columns (decision + slack/surplus + artificial)
+	artBase  int // first artificial column index; numCols-artBase artificials
+	rows     [][]float64
+	rhs      []float64
+	basis    []int
+	cost     []float64 // original (minimization) objective over all columns
+	maximize bool      // caller's sense; flips the reported objective back
+	iters    int
+	maxIter  int
+}
+
+// newTableau builds the phase-1 tableau: slack columns for LE rows,
+// surplus+artificial for GE rows, artificial for EQ rows, with all RHS
+// normalized non-negative.
+func newTableau(p Problem) *tableau {
+	n := len(p.Objective)
+	m := len(p.Constraints)
+
+	// Normalize rows so RHS >= 0.
+	type row struct {
+		coeffs []float64
+		rel    Relation
+		rhs    float64
+	}
+	rows := make([]row, m)
+	for k, c := range p.Constraints {
+		coeffs := append([]float64(nil), c.Coeffs...)
+		rel := c.Rel
+		rhs := c.RHS
+		if rhs < 0 {
+			for i := range coeffs {
+				coeffs[i] = -coeffs[i]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[k] = row{coeffs: coeffs, rel: rel, rhs: rhs}
+	}
+
+	slackCount := 0
+	artCount := 0
+	for _, r := range rows {
+		switch r.rel {
+		case LE:
+			slackCount++
+		case GE:
+			slackCount++ // surplus
+			artCount++
+		case EQ:
+			artCount++
+		}
+	}
+	numCols := n + slackCount + artCount
+	artBase := n + slackCount
+
+	t := &tableau{
+		n:       n,
+		m:       m,
+		numCols: numCols,
+		artBase: artBase,
+		rows:    make([][]float64, m),
+		rhs:     make([]float64, m),
+		basis:   make([]int, m),
+		cost:    make([]float64, numCols),
+		maxIter: 2000 + 200*(n+m),
+	}
+	if p.MaxIterations > 0 {
+		t.maxIter = p.MaxIterations
+	}
+	t.maximize = p.Maximize
+	for j := 0; j < n; j++ {
+		if p.Maximize {
+			t.cost[j] = -p.Objective[j]
+		} else {
+			t.cost[j] = p.Objective[j]
+		}
+	}
+
+	slackIdx := n
+	artIdx := artBase
+	for k, r := range rows {
+		tr := make([]float64, numCols)
+		copy(tr, r.coeffs)
+		t.rhs[k] = r.rhs
+		switch r.rel {
+		case LE:
+			tr[slackIdx] = 1
+			t.basis[k] = slackIdx
+			slackIdx++
+		case GE:
+			tr[slackIdx] = -1
+			slackIdx++
+			tr[artIdx] = 1
+			t.basis[k] = artIdx
+			artIdx++
+		case EQ:
+			tr[artIdx] = 1
+			t.basis[k] = artIdx
+			artIdx++
+		}
+		t.rows[k] = tr
+	}
+	return t
+}
+
+// run executes phase 1 (if artificials exist) and phase 2, returning
+// the solution in the caller's optimization sense.
+func (t *tableau) run() (Solution, error) {
+	if t.numCols > t.artBase {
+		phase1 := make([]float64, t.numCols)
+		for j := t.artBase; j < t.numCols; j++ {
+			phase1[j] = 1
+		}
+		status, obj, err := t.optimize(phase1)
+		if err != nil {
+			return Solution{}, err
+		}
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by zero; unbounded
+			// here means a numerical breakdown.
+			return Solution{}, errNumericalZero
+		}
+		if obj > feasTol {
+			return Solution{Status: Infeasible, Iterations: t.iters}, nil
+		}
+		if err := t.evictArtificials(); err != nil {
+			return Solution{}, err
+		}
+	}
+
+	status, obj, err := t.optimize(t.cost)
+	if err != nil {
+		return Solution{}, err
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded, Iterations: t.iters}, nil
+	}
+
+	x := make([]float64, t.n)
+	for k, b := range t.basis {
+		if b < t.n {
+			x[b] = t.rhs[k]
+		}
+	}
+	if t.maximize {
+		obj = -obj
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj, Iterations: t.iters}, nil
+}
+
+// optimize runs primal simplex for the given full-length cost vector,
+// returning the terminal status and objective value. Artificial columns
+// are priced out (never re-enter) once phase 1 is over because their
+// cost entries are zero and we forbid them explicitly.
+func (t *tableau) optimize(cost []float64) (Status, float64, error) {
+	reduced := t.reducedCosts(cost)
+	degenerate := 0
+	for {
+		if t.iters >= t.maxIter {
+			return 0, 0, ErrIterationCap
+		}
+		useBland := degenerate >= blandAfter
+		enter := t.chooseEntering(reduced, cost, useBland)
+		if enter < 0 {
+			return Optimal, t.objective(cost), nil
+		}
+		leave := t.chooseLeaving(enter, useBland)
+		if leave < 0 {
+			return Unbounded, 0, nil
+		}
+		if t.rhs[leave] <= feasTol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		if err := t.pivot(leave, enter, reduced); err != nil {
+			return 0, 0, err
+		}
+		t.iters++
+	}
+}
+
+// reducedCosts computes c_j - c_B B^-1 A_j for every column from
+// scratch; called once per phase.
+func (t *tableau) reducedCosts(cost []float64) []float64 {
+	reduced := append([]float64(nil), cost...)
+	for k, b := range t.basis {
+		cb := cost[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[k]
+		for j := range reduced {
+			reduced[j] -= cb * row[j]
+		}
+	}
+	return reduced
+}
+
+// objective computes c_B x_B.
+func (t *tableau) objective(cost []float64) float64 {
+	obj := 0.0
+	for k, b := range t.basis {
+		obj += cost[b] * t.rhs[k]
+	}
+	return obj
+}
+
+// chooseEntering picks the entering column: most-negative reduced cost
+// (Dantzig), or the lowest-index negative one under Bland's rule.
+// Columns currently in the basis have reduced cost 0 and are skipped
+// naturally; artificial columns are skipped whenever their cost is 0
+// (phase 2), so they never re-enter.
+func (t *tableau) chooseEntering(reduced, cost []float64, bland bool) int {
+	enter := -1
+	best := -pivotTol
+	for j := 0; j < t.numCols; j++ {
+		if j >= t.artBase && cost[j] == 0 {
+			continue // artificial in phase 2
+		}
+		if reduced[j] < best {
+			if bland {
+				return j
+			}
+			best = reduced[j]
+			enter = j
+		}
+	}
+	return enter
+}
+
+// chooseLeaving runs the minimum-ratio test on column enter, breaking
+// ties by the smallest basis variable index (Bland-compatible).
+func (t *tableau) chooseLeaving(enter int, bland bool) int {
+	leave := -1
+	bestRatio := math.Inf(1)
+	for k := 0; k < t.m; k++ {
+		a := t.rows[k][enter]
+		if a <= pivotTol {
+			continue
+		}
+		ratio := t.rhs[k] / a
+		if ratio < bestRatio-pivotTol ||
+			(math.Abs(ratio-bestRatio) <= pivotTol && (leave < 0 || t.basis[k] < t.basis[leave])) {
+			bestRatio = ratio
+			leave = k
+		}
+	}
+	_ = bland
+	return leave
+}
+
+// pivot performs the row-elimination pivot at (leave, enter) and
+// updates the reduced-cost row incrementally.
+func (t *tableau) pivot(leave, enter int, reduced []float64) error {
+	prow := t.rows[leave]
+	pval := prow[enter]
+	if math.Abs(pval) < pivotTol {
+		return errNumericalZero
+	}
+	inv := 1 / pval
+	for j := range prow {
+		prow[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	prow[enter] = 1 // kill residual error
+
+	for k := 0; k < t.m; k++ {
+		if k == leave {
+			continue
+		}
+		f := t.rows[k][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[k]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+		t.rhs[k] -= f * t.rhs[leave]
+		if t.rhs[k] < 0 && t.rhs[k] > -feasTol {
+			t.rhs[k] = 0
+		}
+	}
+	f := reduced[enter]
+	if f != 0 {
+		for j := range reduced {
+			reduced[j] -= f * prow[j]
+		}
+		reduced[enter] = 0
+	}
+	t.basis[leave] = enter
+	return nil
+}
+
+// evictArtificials pivots basic artificial variables (at value zero
+// after a feasible phase 1) out of the basis, or drops their rows when
+// redundant, so phase 2 starts from a clean basic feasible solution.
+func (t *tableau) evictArtificials() error {
+	for k := 0; k < t.m; k++ {
+		if t.basis[k] < t.artBase {
+			continue
+		}
+		// Find any non-artificial column with a nonzero entry to pivot in.
+		pivotCol := -1
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(t.rows[k][j]) > pivotTol {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol < 0 {
+			// Redundant row: every structural coefficient is zero.
+			t.dropRow(k)
+			k--
+			continue
+		}
+		dummy := make([]float64, t.numCols)
+		if err := t.pivot(k, pivotCol, dummy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropRow removes row k from the tableau.
+func (t *tableau) dropRow(k int) {
+	t.rows = append(t.rows[:k], t.rows[k+1:]...)
+	t.rhs = append(t.rhs[:k], t.rhs[k+1:]...)
+	t.basis = append(t.basis[:k], t.basis[k+1:]...)
+	t.m--
+}

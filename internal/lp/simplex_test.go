@@ -1,0 +1,263 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSolveTextbookMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj 36.
+	p := Problem{
+		Objective: []float64{3, 5},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-36) > 1e-9 {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-6) > 1e-9 {
+		t.Errorf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestSolveMinWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3. Optimum: y at its
+	// floor? Cost of x is lower, so push x: x=7, y=3, obj 23.
+	p := Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 2},
+			{Coeffs: []float64{0, 1}, Rel: GE, RHS: 3},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-23) > 1e-9 {
+		t.Errorf("objective = %v, want 23", sol.Objective)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min x + y s.t. x + 2y == 4, x - y == 1 -> x=2, y=1, obj 3.
+	p := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Rel: EQ, RHS: 4},
+			{Coeffs: []float64{1, -1}, Rel: EQ, RHS: 1},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-8 || math.Abs(sol.X[1]-1) > 1e-8 {
+		t.Errorf("x = %v, want (2, 1)", sol.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1, 1},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Rel: LE, RHS: 1},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x >= -5 written as -x <= 5 with negative RHS normalization:
+	// min x s.t. -x >= -5  (i.e. x <= 5), x >= 1 -> x=1.
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: GE, RHS: -5},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 1},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-1) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal obj 1", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classically degenerate LP (redundant constraints through the
+	// optimum); must terminate and find the optimum.
+	p := Problem{
+		Objective: []float64{1, 1},
+		Maximize:  true,
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 2},
+			{Coeffs: []float64{2, 2}, Rel: LE, RHS: 4},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal obj 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveMalformed(t *testing.T) {
+	if _, err := Solve(Problem{}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty problem: want ErrMalformed, got %v", err)
+	}
+	p := Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: 1}},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrMalformed) {
+		t.Errorf("ragged constraint: want ErrMalformed, got %v", err)
+	}
+}
+
+// TestSolveDominatesRandomFeasiblePoints is the key correctness
+// property: on random feasible covering LPs the simplex optimum must be
+// (a) feasible and (b) at least as good as any of a cloud of random
+// feasible points.
+func TestSolveDominatesRandomFeasiblePoints(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(6)
+		m := 1 + r.Intn(5)
+		p := Problem{Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = 0.5 + r.Float64()*2
+		}
+		for k := 0; k < m; k++ {
+			coeffs := make([]float64, n)
+			for i := range coeffs {
+				coeffs[i] = r.Float64() // non-negative -> always feasible
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Rel: GE, RHS: r.Float64() * 3})
+		}
+		// Bound variables so the LP is bounded.
+		for i := 0; i < n; i++ {
+			coeffs := make([]float64, n)
+			coeffs[i] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Rel: LE, RHS: 50})
+		}
+		sol := solveOK(t, p)
+		if sol.Status == Infeasible {
+			continue // random RHS can exceed what bounded vars cover
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		checkFeasible(t, p, sol.X)
+		// Generate random feasible points by scaling up a random point
+		// until it satisfies the GE rows.
+		for probe := 0; probe < 30; probe++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.Float64() * 50
+			}
+			if !feasible(p, x) {
+				continue
+			}
+			obj := 0.0
+			for i := range x {
+				obj += p.Objective[i] * x[i]
+			}
+			if obj < sol.Objective-1e-6 {
+				t.Fatalf("trial %d: random point beats simplex: %v < %v", trial, obj, sol.Objective)
+			}
+		}
+	}
+}
+
+func feasible(p Problem, x []float64) bool {
+	for _, c := range p.Constraints {
+		dot := 0.0
+		for i := range x {
+			dot += c.Coeffs[i] * x[i]
+		}
+		switch c.Rel {
+		case LE:
+			if dot > c.RHS+1e-7 {
+				return false
+			}
+		case GE:
+			if dot < c.RHS-1e-7 {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-c.RHS) > 1e-7 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkFeasible(t *testing.T, p Problem, x []float64) {
+	t.Helper()
+	for i, v := range x {
+		if v < -1e-7 {
+			t.Fatalf("x[%d] = %v negative", i, v)
+		}
+	}
+	if !feasible(p, x) {
+		t.Fatalf("simplex solution infeasible: %v", x)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("relation strings wrong")
+	}
+	if Relation(9).String() == "" {
+		t.Error("unknown relation should still render")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status should still render")
+	}
+}

@@ -1,0 +1,68 @@
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Accountant errors.
+var (
+	ErrBudgetExhausted = errors.New("mechanism: privacy budget exhausted")
+	ErrBadBudget       = errors.New("mechanism: invalid privacy budget")
+)
+
+// Accountant tracks cumulative privacy loss under basic sequential
+// composition: every epsilon-DP release against the same bids adds
+// epsilon to the ledger, and releases stop once the total budget is
+// spent. The paper's mechanism is epsilon-DP per auction; a platform
+// re-running auctions over the same worker population must meter the
+// compound loss or repetition quietly erodes the guarantee (see
+// privacy.RoundsToDistinguish for the attack side of this ledger).
+//
+// The zero value is unusable; construct with NewAccountant. Safe for
+// concurrent use.
+type Accountant struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+}
+
+// NewAccountant returns an accountant with the given total epsilon
+// budget.
+func NewAccountant(total float64) (*Accountant, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: total=%v", ErrBadBudget, total)
+	}
+	return &Accountant{total: total}, nil
+}
+
+// Spend debits one epsilon-DP release. It either debits fully or not at
+// all: a release that would overdraw the budget is refused with
+// ErrBudgetExhausted and the ledger is left unchanged.
+func (a *Accountant) Spend(eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("%w: eps=%v", ErrBadBudget, eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+eps > a.total+1e-12 {
+		return fmt.Errorf("%w: spent %v of %v, refusing eps=%v", ErrBudgetExhausted, a.spent, a.total, eps)
+	}
+	a.spent += eps
+	return nil
+}
+
+// Spent returns the cumulative epsilon debited so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the budget left.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spent
+}

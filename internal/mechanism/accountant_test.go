@@ -1,0 +1,83 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(0); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("zero budget: got %v", err)
+	}
+	if _, err := NewAccountant(-1); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("negative budget: got %v", err)
+	}
+}
+
+func TestAccountantSpendAndExhaust(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Spend(0.1); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+	}
+	if math.Abs(a.Spent()-1.0) > 1e-9 {
+		t.Errorf("spent = %v, want 1.0", a.Spent())
+	}
+	if err := a.Spend(0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("overdraw: got %v", err)
+	}
+	// Refused spends must not debit.
+	if math.Abs(a.Spent()-1.0) > 1e-9 {
+		t.Errorf("refused spend changed the ledger: %v", a.Spent())
+	}
+	if a.Remaining() > 1e-9 {
+		t.Errorf("remaining = %v, want ~0", a.Remaining())
+	}
+}
+
+func TestAccountantRejectsBadSpend(t *testing.T) {
+	a, _ := NewAccountant(1)
+	if err := a.Spend(0); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("zero spend: got %v", err)
+	}
+	if err := a.Spend(-0.5); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("negative spend: got %v", err)
+	}
+}
+
+func TestAccountantConcurrentSpends(t *testing.T) {
+	a, _ := NewAccountant(10)
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- a.Spend(0.1)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	ok, refused := 0, 0
+	for err := range errs {
+		if err == nil {
+			ok++
+		} else if errors.Is(err, ErrBudgetExhausted) {
+			refused++
+		} else {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok != 100 || refused != 100 {
+		t.Errorf("ok=%d refused=%d, want 100/100", ok, refused)
+	}
+	if math.Abs(a.Spent()-10) > 1e-6 {
+		t.Errorf("spent = %v, want 10", a.Spent())
+	}
+}

@@ -1,0 +1,136 @@
+// Package mechanism implements the differential-privacy primitives used
+// by the DP-hSRC auction: the exponential mechanism of McSherry and
+// Talwar (FOCS 2007) in numerically robust log-space form, exact
+// probability-mass-function computation for analysis, and the
+// KL-divergence privacy-leakage meter of the paper's Definition 8.
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/dphsrc/dphsrc/internal/stats"
+)
+
+// ErrEmptySupport reports that a mechanism was asked to choose from an
+// empty candidate set.
+var ErrEmptySupport = errors.New("mechanism: empty support")
+
+// ErrBadScore reports a non-finite score, which would corrupt the
+// output distribution silently.
+var ErrBadScore = errors.New("mechanism: score is NaN or infinite")
+
+// Exponential is an instance of the exponential mechanism over a finite
+// support. The probability of selecting index i is proportional to
+// exp(LogWeights[i]); callers encode the privacy budget, sensitivity
+// and score into the log-weight (for DP-hSRC the log-weight of price x
+// is -eps * x*|S(x)| / (2*N*cmax)).
+type Exponential struct {
+	logWeights []float64
+	// maxLW is cached so PMF and Sample can shift into a numerically
+	// safe range without rescanning.
+	maxLW float64
+}
+
+// NewExponential builds a mechanism from the given log-weights. The
+// slice is copied. It returns an error if the support is empty or any
+// weight is non-finite.
+func NewExponential(logWeights []float64) (*Exponential, error) {
+	if len(logWeights) == 0 {
+		return nil, ErrEmptySupport
+	}
+	cp := make([]float64, len(logWeights))
+	maxLW := math.Inf(-1)
+	for i, lw := range logWeights {
+		if math.IsNaN(lw) || math.IsInf(lw, 0) {
+			return nil, ErrBadScore
+		}
+		cp[i] = lw
+		if lw > maxLW {
+			maxLW = lw
+		}
+	}
+	return &Exponential{logWeights: cp, maxLW: maxLW}, nil
+}
+
+// Len returns the support size.
+func (e *Exponential) Len() int { return len(e.logWeights) }
+
+// PMF returns the exact probability mass function of the mechanism,
+// computed with a max-shift so that it is well defined even when the
+// raw weights exp(logWeight) underflow float64.
+func (e *Exponential) PMF() []float64 {
+	pmf := make([]float64, len(e.logWeights))
+	sum := 0.0
+	for i, lw := range e.logWeights {
+		w := math.Exp(lw - e.maxLW)
+		pmf[i] = w
+		sum += w
+	}
+	for i := range pmf {
+		pmf[i] /= sum
+	}
+	return pmf
+}
+
+// Sample draws one index from the mechanism's distribution using the
+// Gumbel-max trick: argmax_i (logWeight_i + Gumbel_i) is distributed as
+// softmax(logWeights). This avoids computing the normalizer entirely
+// and is immune to under/overflow.
+func (e *Exponential) Sample(r *rand.Rand) int {
+	best := 0
+	bestVal := math.Inf(-1)
+	for i, lw := range e.logWeights {
+		v := lw + stats.Gumbel(r)
+		if v > bestVal {
+			bestVal = v
+			best = i
+		}
+	}
+	return best
+}
+
+// SampleInverse draws one index by inverse-transform sampling on the
+// exact PMF. It is slower than Sample and exists to cross-validate the
+// Gumbel-max path in tests and ablations.
+func (e *Exponential) SampleInverse(r *rand.Rand) int {
+	pmf := e.PMF()
+	u := r.Float64()
+	acc := 0.0
+	for i, p := range pmf {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(pmf) - 1
+}
+
+// ExpectedScore returns sum_i pmf_i * score_i for an arbitrary
+// per-index score vector, e.g. the platform's total payment at each
+// candidate price. It panics if the score length mismatches the
+// support, which is a programmer error.
+func (e *Exponential) ExpectedScore(score []float64) float64 {
+	if len(score) != len(e.logWeights) {
+		panic("mechanism: score length mismatch")
+	}
+	pmf := e.PMF()
+	out := 0.0
+	for i, p := range pmf {
+		out += p * score[i]
+	}
+	return out
+}
+
+// PaymentLogWeights computes the DP-hSRC log-weights for a slice of
+// candidate total payments: logWeight_i = -eps * payment_i / (2*N*cmax).
+// Equation 10 of the paper with payment = x*|S(x)|.
+func PaymentLogWeights(payments []float64, eps float64, n int, cmax float64) []float64 {
+	lw := make([]float64, len(payments))
+	denom := 2 * float64(n) * cmax
+	for i, pay := range payments {
+		lw[i] = -eps * pay / denom
+	}
+	return lw
+}

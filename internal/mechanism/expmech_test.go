@@ -1,0 +1,197 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/stats"
+)
+
+func TestNewExponentialErrors(t *testing.T) {
+	if _, err := NewExponential(nil); !errors.Is(err, ErrEmptySupport) {
+		t.Errorf("empty: want ErrEmptySupport, got %v", err)
+	}
+	if _, err := NewExponential([]float64{0, math.NaN()}); !errors.Is(err, ErrBadScore) {
+		t.Errorf("NaN: want ErrBadScore, got %v", err)
+	}
+	if _, err := NewExponential([]float64{math.Inf(-1)}); !errors.Is(err, ErrBadScore) {
+		t.Errorf("Inf: want ErrBadScore, got %v", err)
+	}
+}
+
+func TestPMFIsValid(t *testing.T) {
+	e, err := NewExponential([]float64{-1, -2, -3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf := e.PMF()
+	if err := stats.ValidatePMF(pmf); err != nil {
+		t.Fatalf("PMF invalid: %v", err)
+	}
+	// Larger log-weight => larger probability.
+	if !(pmf[3] > pmf[0] && pmf[0] > pmf[1] && pmf[1] > pmf[2]) {
+		t.Errorf("PMF not monotone in log-weight: %v", pmf)
+	}
+}
+
+func TestPMFExactValues(t *testing.T) {
+	// Two outcomes with log-weights 0 and ln(3): probabilities 1/4, 3/4.
+	e, err := NewExponential([]float64{0, math.Log(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf := e.PMF()
+	if math.Abs(pmf[0]-0.25) > 1e-12 || math.Abs(pmf[1]-0.75) > 1e-12 {
+		t.Errorf("PMF = %v, want [0.25, 0.75]", pmf)
+	}
+}
+
+func TestPMFExtremeWeightsNoUnderflow(t *testing.T) {
+	// Raw exp() of these would underflow/overflow float64; the
+	// max-shifted computation must stay finite and valid.
+	e, err := NewExponential([]float64{-5000, -5001, -4999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf := e.PMF()
+	if err := stats.ValidatePMF(pmf); err != nil {
+		t.Fatalf("PMF invalid under extreme weights: %v (%v)", err, pmf)
+	}
+	if pmf[2] < pmf[0] || pmf[0] < pmf[1] {
+		t.Errorf("ordering lost: %v", pmf)
+	}
+}
+
+func TestSampleMatchesPMF(t *testing.T) {
+	e, err := NewExponential([]float64{0, -1, -2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf := e.PMF()
+	r := rand.New(rand.NewSource(99))
+	const trials = 200000
+	counts := make([]int, e.Len())
+	for i := 0; i < trials; i++ {
+		counts[e.Sample(r)]++
+	}
+	for i, p := range pmf {
+		freq := float64(counts[i]) / trials
+		if math.Abs(freq-p) > 0.01 {
+			t.Errorf("outcome %d: frequency %.4f vs PMF %.4f", i, freq, p)
+		}
+	}
+}
+
+func TestSampleInverseMatchesGumbel(t *testing.T) {
+	e, err := NewExponential([]float64{0.3, -0.7, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	const trials = 100000
+	gumbel := make([]int, e.Len())
+	inverse := make([]int, e.Len())
+	for i := 0; i < trials; i++ {
+		gumbel[e.Sample(r)]++
+		inverse[e.SampleInverse(r)]++
+	}
+	for i := range gumbel {
+		a := float64(gumbel[i]) / trials
+		b := float64(inverse[i]) / trials
+		if math.Abs(a-b) > 0.015 {
+			t.Errorf("outcome %d: gumbel %.4f vs inverse %.4f", i, a, b)
+		}
+	}
+}
+
+func TestExpectedScore(t *testing.T) {
+	e, err := NewExponential([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.ExpectedScore([]float64{10, 20})
+	if math.Abs(got-15) > 1e-12 {
+		t.Errorf("expected score = %v, want 15", got)
+	}
+}
+
+func TestExpectedScorePanicsOnMismatch(t *testing.T) {
+	e, _ := NewExponential([]float64{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.ExpectedScore([]float64{1, 2})
+}
+
+func TestPaymentLogWeights(t *testing.T) {
+	lw := PaymentLogWeights([]float64{100, 200}, 0.5, 10, 60)
+	// -eps * pay / (2*N*cmax) = -0.5*100/1200 and -0.5*200/1200.
+	if math.Abs(lw[0]-(-0.5*100/1200)) > 1e-15 || math.Abs(lw[1]-(-0.5*200/1200)) > 1e-15 {
+		t.Errorf("log-weights = %v", lw)
+	}
+}
+
+// TestExponentialMechanismDPBound checks the defining DP inequality of
+// the exponential mechanism directly at this layer: for any two weight
+// vectors whose payments differ by at most the sensitivity N*cmax
+// per coordinate, the PMF ratio is bounded by exp(eps).
+func TestExponentialMechanismDPBound(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const (
+		eps  = 0.1
+		n    = 20
+		cmax = 60.0
+	)
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + r.Intn(30)
+		pay := make([]float64, m)
+		pay2 := make([]float64, m)
+		for i := range pay {
+			pay[i] = r.Float64() * float64(n) * cmax
+			// Perturb within the sensitivity: one worker's bid change
+			// shifts any price's payment by at most cmax*N.
+			pay2[i] = pay[i] + (r.Float64()*2-1)*float64(n)*cmax
+			if pay2[i] < 0 {
+				pay2[i] = 0
+			}
+		}
+		e1, err := NewExponential(PaymentLogWeights(pay, eps, n, cmax))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := NewExponential(PaymentLogWeights(pay2, eps, n, cmax))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlr, err := stats.MaxLogRatio(e1.PMF(), e2.PMF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mlr > eps+1e-9 {
+			t.Fatalf("trial %d: max log ratio %v exceeds eps %v", trial, mlr, eps)
+		}
+	}
+}
+
+func TestMeasureLeakage(t *testing.T) {
+	e1, _ := NewExponential([]float64{0, -1})
+	e2, _ := NewExponential([]float64{-1, 0})
+	leak, err := MeasureLeakage(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak.KL <= 0 || leak.MaxLogRatio <= 0 || leak.TV <= 0 {
+		t.Errorf("leakage should be positive for different weights: %+v", leak)
+	}
+	same, err := MeasureLeakage(e1, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.KL != 0 || same.TV != 0 {
+		t.Errorf("self-leakage should be zero: %+v", same)
+	}
+}

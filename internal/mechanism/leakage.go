@@ -1,0 +1,40 @@
+package mechanism
+
+import (
+	"github.com/dphsrc/dphsrc/internal/stats"
+)
+
+// Leakage quantifies how distinguishable two mechanism outputs are when
+// one input bid changes, per Definition 8 of the paper.
+type Leakage struct {
+	// KL is the Kullback-Leibler divergence D(P || P') in nats.
+	KL float64
+	// MaxLogRatio is max_x |ln P(x) - ln P'(x)|; epsilon-DP guarantees
+	// this is at most epsilon.
+	MaxLogRatio float64
+	// TV is the total-variation distance between the two PMFs.
+	TV float64
+}
+
+// MeasureLeakage compares the exact output distributions of two
+// mechanisms built from adjacent inputs (bid profiles differing in one
+// worker's bid). Both mechanisms must share the same support; the
+// DP-hSRC caller guarantees this by evaluating both bid profiles on the
+// same feasible price set.
+func MeasureLeakage(m, mPrime *Exponential) (Leakage, error) {
+	p := m.PMF()
+	q := mPrime.PMF()
+	kl, err := stats.KLDivergence(p, q)
+	if err != nil {
+		return Leakage{}, err
+	}
+	mlr, err := stats.MaxLogRatio(p, q)
+	if err != nil {
+		return Leakage{}, err
+	}
+	tv, err := stats.TotalVariation(p, q)
+	if err != nil {
+		return Leakage{}, err
+	}
+	return Leakage{KL: kl, MaxLogRatio: mlr, TV: tv}, nil
+}

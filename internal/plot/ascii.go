@@ -1,0 +1,65 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// asciiMarkers are cycled across series in terminal rendering.
+var asciiMarkers = []byte{'o', 'x', '+', '*', '#', '@'}
+
+// ASCII renders the chart on a character grid of the given size,
+// suitable for quick terminal inspection of a sweep.
+func (c *Chart) ASCII(width, height int) (string, error) {
+	if err := c.validate(); err != nil {
+		return "", err
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := asciiMarkers[si%len(asciiMarkers)]
+		for i := range s.X {
+			x := s.X[i]
+			if c.LogX {
+				x = math.Log10(x)
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%10.4g ┤", ymax)
+	b.WriteString(string(grid[0]) + "\n")
+	for r := 1; r < height-1; r++ {
+		b.WriteString(strings.Repeat(" ", 11) + "│" + string(grid[r]) + "\n")
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", ymin, string(grid[height-1]))
+	b.WriteString(strings.Repeat(" ", 12) + strings.Repeat("─", width) + "\n")
+	lo, hi := xmin, xmax
+	if c.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(&b, "%12s%-10.4g%*.4g\n", "", lo, width-10, hi)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", asciiMarkers[si%len(asciiMarkers)], s.Name)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,156 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG rendering geometry.
+const (
+	svgWidth    = 720
+	svgHeight   = 480
+	marginLeft  = 80
+	marginRight = 24
+	marginTop   = 48
+	marginBot   = 64
+)
+
+// seriesPalette holds the stroke colors cycled across series.
+var seriesPalette = []string{
+	"#1f77b4", // blue
+	"#d62728", // red
+	"#2ca02c", // green
+	"#9467bd", // purple
+	"#ff7f0e", // orange
+	"#8c564b", // brown
+}
+
+// markers holds the point-marker shapes cycled across series.
+var markers = []string{"circle", "square", "diamond", "triangle"}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG() (string, error) {
+	if err := c.validate(); err != nil {
+		return "", err
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	plotW := float64(svgWidth - marginLeft - marginRight)
+	plotH := float64(svgHeight - marginTop - marginBot)
+
+	toX := func(x float64) float64 {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		return marginLeft + (x-xmin)/(xmax-xmin)*plotW
+	}
+	toY := func(y float64) float64 {
+		return float64(svgHeight-marginBot) - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgWidth, svgHeight, svgWidth, svgHeight)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333" stroke-width="1"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Title and axis labels.
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+			svgWidth/2, marginTop-16, escape(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			svgWidth/2, svgHeight-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			16, svgHeight/2, svgHeight/2, escape(c.YLabel))
+	}
+
+	// Ticks and grid lines.
+	for _, tv := range niceTicks(ymin, ymax, 8) {
+		y := toY(tv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			marginLeft, y, float64(marginLeft)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tv))
+	}
+	xticks := niceTicks(xmin, xmax, 8)
+	for _, tv := range xticks {
+		x := marginLeft + (tv-xmin)/(xmax-xmin)*plotW
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			x, marginTop, x, float64(marginTop)+plotH)
+		label := tv
+		text := formatTick(label)
+		if c.LogX {
+			text = formatTick(math.Pow(10, tv))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x, svgHeight-marginBot+18, text)
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := seriesPalette[si%len(seriesPalette)]
+		marker := markers[si%len(markers)]
+		var points []string
+		for i := range s.X {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", toX(s.X[i]), toY(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(points, " "), color)
+		for i := range s.X {
+			px, py := toX(s.X[i]), toY(s.Y[i])
+			if s.YErr != nil && s.YErr[i] > 0 {
+				lo, hi := toY(s.Y[i]-s.YErr[i]), toY(s.Y[i]+s.YErr[i])
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", px, lo, px, hi, color)
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", px-4, lo, px+4, lo, color)
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", px-4, hi, px+4, hi, color)
+			}
+			b.WriteString(markerSVG(marker, px, py, color) + "\n")
+		}
+	}
+
+	// Legend.
+	legendX := marginLeft + 12
+	legendY := marginTop + 14
+	for si, s := range c.Series {
+		color := seriesPalette[si%len(seriesPalette)]
+		y := float64(legendY + si*18)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			legendX, y-4, legendX+24, y-4, color)
+		b.WriteString(markerSVG(markers[si%len(markers)], float64(legendX+12), y-4, color) + "\n")
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			legendX+30, y, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// markerSVG renders one data-point marker.
+func markerSVG(kind string, x, y float64, color string) string {
+	const r = 3.5
+	switch kind {
+	case "square":
+		return fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		return fmt.Sprintf(`<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`,
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, color)
+	case "triangle":
+		return fmt.Sprintf(`<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`,
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, color)
+	default:
+		return fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, x, y, r, color)
+	}
+}
+
+// escape sanitizes text nodes for XML.
+func escape(s string) string {
+	repl := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return repl.Replace(s)
+}

@@ -1,0 +1,125 @@
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrRaggedTable reports a row whose cell count differs from the
+// header.
+var ErrRaggedTable = errors.New("plot: ragged table")
+
+// Table is a simple rectangular text table, used for Table II-style
+// outputs.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// validate checks rectangularity.
+func (t *Table) validate() error {
+	for i, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return fmt.Errorf("%w: row %d has %d cells for %d headers", ErrRaggedTable, i, len(row), len(t.Headers))
+		}
+	}
+	return nil
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	if err := t.validate(); err != nil {
+		return err.Error()
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV. Cells containing commas or quotes
+// are quoted per RFC 4180.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	writeLine := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			quoted[i] = csvCell(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvCell quotes a cell if needed.
+func csvCell(c string) string {
+	if strings.ContainsAny(c, ",\"\n") {
+		return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+	}
+	return c
+}
+
+// WriteSeriesCSV emits chart data in tidy form (series,x,y,yerr), the
+// machine-readable companion to every figure the harness produces.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y,yerr"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := s.validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			yerr := 0.0
+			if s.YErr != nil {
+				yerr = s.YErr[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s,%g,%g,%g\n", csvCell(s.Name), s.X[i], s.Y[i], yerr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

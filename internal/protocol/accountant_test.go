@@ -1,0 +1,54 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+)
+
+// TestCampaignStopsAtPrivacyBudget: a platform metered by an accountant
+// refuses rounds once the composed epsilon is spent, without touching
+// the network.
+func TestCampaignStopsAtPrivacyBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cfg := testPlatformConfig(t)
+	cfg.Epsilon = 0.5
+	acct, err := mechanism.NewAccountant(1.0) // two rounds' worth
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Accountant = acct
+	cfg.BidWindow = 200 * time.Millisecond
+	cfg.MinWorkers = 0
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// No workers connect; rounds fail with ErrNoBids, but each attempt
+	// still debits the budget (the platform committed to a release).
+	for round := 0; round < 2; round++ {
+		if _, err := platform.RunRound(ctx, ln); !errors.Is(err, ErrNoBids) {
+			t.Fatalf("round %d: want ErrNoBids, got %v", round, err)
+		}
+	}
+	// Third round: budget gone before any bid is read.
+	if _, err := platform.RunRound(ctx, ln); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	if acct.Remaining() > 1e-9 {
+		t.Errorf("remaining budget %v, want 0", acct.Remaining())
+	}
+}

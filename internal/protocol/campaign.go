@@ -1,0 +1,135 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/dphsrc/dphsrc/internal/crowd"
+)
+
+// ErrNoRounds reports a campaign with a non-positive round count.
+var ErrNoRounds = errors.New("protocol: campaign needs at least one round")
+
+// SkillStore is the platform's historical skill record: a thread-safe
+// map from worker identity to estimated accuracy, updated after every
+// round by truth discovery on the collected labels. This closes the
+// loop the paper describes in Section III-A — theta is "estimated from
+// workers' previously submitted data".
+type SkillStore struct {
+	mu  sync.RWMutex
+	acc map[string]float64
+	// def is the prior accuracy assigned to never-seen workers.
+	def float64
+	// alpha is the EWMA blending weight of the newest estimate.
+	alpha float64
+}
+
+// NewSkillStore returns a store that assumes defaultAccuracy for
+// unknown workers and blends each round's EM estimate with weight 0.5.
+func NewSkillStore(defaultAccuracy float64) *SkillStore {
+	if defaultAccuracy <= 0 || defaultAccuracy >= 1 {
+		defaultAccuracy = 0.7
+	}
+	return &SkillStore{
+		acc:   make(map[string]float64),
+		def:   defaultAccuracy,
+		alpha: 0.5,
+	}
+}
+
+// Get returns the current accuracy estimate for a worker.
+func (s *SkillStore) Get(workerID string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if a, ok := s.acc[workerID]; ok {
+		return a
+	}
+	return s.def
+}
+
+// Func adapts the store to the platform's SkillFunc interface,
+// assigning a worker's scalar accuracy to every task.
+func (s *SkillStore) Func() SkillFunc {
+	return func(workerID string, numTasks int) []float64 {
+		a := s.Get(workerID)
+		row := make([]float64, numTasks)
+		for j := range row {
+			row[j] = a
+		}
+		return row
+	}
+}
+
+// UpdateFromReports folds raw label reports into the store: it runs
+// one-coin Dawid-Skene EM over the reports and EWMA-blends the
+// estimates for every worker who actually reported. workerIDs
+// maps report worker indices to identities.
+func (s *SkillStore) UpdateFromReports(reports []crowd.Report, workerIDs []string, numTasks int) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	res, err := crowd.EstimateSkills(reports, len(workerIDs), numTasks, crowd.EMOptions{})
+	if err != nil {
+		return fmt.Errorf("protocol: truth discovery: %w", err)
+	}
+	reported := make([]bool, len(workerIDs))
+	for _, r := range reports {
+		if r.Worker >= 0 && r.Worker < len(reported) {
+			reported[r.Worker] = true
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range workerIDs {
+		if !reported[i] {
+			continue
+		}
+		old, ok := s.acc[id]
+		if !ok {
+			old = s.def
+		}
+		s.acc[id] = (1-s.alpha)*old + s.alpha*res.Accuracy[i]
+	}
+	return nil
+}
+
+// CampaignReport aggregates a multi-round campaign.
+type CampaignReport struct {
+	Rounds []RoundReport
+	// TotalPayment sums the platform's spend across rounds.
+	TotalPayment float64
+}
+
+// RunCampaign executes `rounds` sequential auction rounds on the
+// listener, updating the skill store from each round's reports before
+// the next begins. The platform must have been built with
+// cfg.Skills = store.Func() for the learning to take effect; passing a
+// different store is allowed but pointless. Workers reconnect each
+// round.
+func (p *Platform) RunCampaign(ctx context.Context, ln net.Listener, rounds int, store *SkillStore) (CampaignReport, error) {
+	if rounds <= 0 {
+		return CampaignReport{}, ErrNoRounds
+	}
+	var campaign CampaignReport
+	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return campaign, err
+		}
+		rep, reports, err := p.runRoundCollecting(ctx, ln)
+		if err != nil {
+			return campaign, fmt.Errorf("protocol: round %d: %w", round+1, err)
+		}
+		campaign.Rounds = append(campaign.Rounds, rep)
+		campaign.TotalPayment += rep.Outcome.TotalPayment
+		if store != nil {
+			if err := store.UpdateFromReports(reports, rep.WorkerIDs, p.cfg.NumTasks); err != nil {
+				return campaign, err
+			}
+		}
+		p.logf("round %d/%d complete: payment %.2f", round+1, rounds, rep.Outcome.TotalPayment)
+	}
+	return campaign, nil
+}

@@ -1,0 +1,364 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/crowd"
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+)
+
+// Platform-side errors.
+var (
+	ErrNoBids       = errors.New("protocol: no valid bids received")
+	ErrBadPlatform  = errors.New("protocol: invalid platform configuration")
+	ErrDuplicateBid = errors.New("protocol: duplicate worker id")
+)
+
+// SkillFunc supplies the platform's historical skill estimate for a
+// worker (Section III-A: theta is maintained by the platform from
+// prior rounds, gold tasks, or truth discovery — see crowd.EstimateSkills).
+type SkillFunc func(workerID string, numTasks int) []float64
+
+// PlatformConfig parameterizes one auction round.
+type PlatformConfig struct {
+	// Task model.
+	NumTasks   int
+	Thresholds []float64
+	// Auction parameters.
+	Epsilon   float64
+	CMin      float64
+	CMax      float64
+	PriceGrid []float64
+	// Skills supplies the theta row per worker.
+	Skills SkillFunc
+	// BidWindow is how long bids are accepted after the round starts.
+	BidWindow time.Duration
+	// MinWorkers closes the window early once this many bids arrived;
+	// 0 means wait out the whole window.
+	MinWorkers int
+	// IOTimeout bounds each message exchange; defaults to 10s.
+	IOTimeout time.Duration
+	// Seed roots the mechanism's randomness; 0 derives from the clock.
+	Seed int64
+	// Accountant, when non-nil, meters the platform's cumulative
+	// privacy loss: every round debits Epsilon under basic sequential
+	// composition, and rounds are refused once the budget is spent.
+	Accountant *mechanism.Accountant
+	// Logger receives progress lines; nil disables logging.
+	Logger *log.Logger
+}
+
+// validate checks the configuration.
+func (c *PlatformConfig) validate() error {
+	switch {
+	case c.NumTasks <= 0:
+		return fmt.Errorf("%w: NumTasks=%d", ErrBadPlatform, c.NumTasks)
+	case len(c.Thresholds) != c.NumTasks:
+		return fmt.Errorf("%w: %d thresholds for %d tasks", ErrBadPlatform, len(c.Thresholds), c.NumTasks)
+	case c.Skills == nil:
+		return fmt.Errorf("%w: nil SkillFunc", ErrBadPlatform)
+	case c.Epsilon <= 0:
+		return fmt.Errorf("%w: epsilon=%v", ErrBadPlatform, c.Epsilon)
+	case len(c.PriceGrid) == 0:
+		return fmt.Errorf("%w: empty price grid", ErrBadPlatform)
+	case c.BidWindow <= 0:
+		return fmt.Errorf("%w: BidWindow=%v", ErrBadPlatform, c.BidWindow)
+	}
+	return nil
+}
+
+// RoundReport summarizes one completed auction round.
+type RoundReport struct {
+	// Bidders is the number of accepted bids.
+	Bidders int
+	// Outcome is the auction result; winner indices refer to the order
+	// bids were accepted (WorkerIDs maps them back to identities).
+	Outcome core.Outcome
+	// WorkerIDs lists bidders in index order.
+	WorkerIDs []string
+	// Aggregated is the platform's label estimate per task after
+	// weighted aggregation of winner reports.
+	Aggregated []crowd.Label
+	// ReportsReceived counts label reports collected from winners.
+	ReportsReceived int
+}
+
+// Platform runs DP-hSRC auction rounds over TCP.
+type Platform struct {
+	cfg PlatformConfig
+}
+
+// NewPlatform validates the configuration and returns a Platform.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 10 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	return &Platform{cfg: cfg}, nil
+}
+
+// session is one worker's connection state.
+type session struct {
+	conn     *Conn
+	workerID string
+	bundle   []int
+	price    float64
+}
+
+// RunRound accepts bids on the listener for the configured window, runs
+// the DP-hSRC auction, collects winner labels, aggregates and settles.
+// The listener is not closed; callers own its lifecycle. ctx cancels
+// the round early.
+func (p *Platform) RunRound(ctx context.Context, ln net.Listener) (RoundReport, error) {
+	rep, _, err := p.runRoundCollecting(ctx, ln)
+	return rep, err
+}
+
+// runRoundCollecting is RunRound plus the raw label reports, which the
+// multi-round campaign feeds to truth discovery.
+func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (RoundReport, []crowd.Report, error) {
+	if p.cfg.Accountant != nil {
+		// Debit before the round runs: a refused round must not even
+		// collect bids, since the price draw it would publish is the
+		// privacy-relevant release.
+		if err := p.cfg.Accountant.Spend(p.cfg.Epsilon); err != nil {
+			return RoundReport{}, nil, err
+		}
+	}
+	sessions, err := p.collectBids(ctx, ln)
+	if err != nil {
+		return RoundReport{}, nil, err
+	}
+	defer func() {
+		for _, s := range sessions {
+			_ = s.conn.Close()
+		}
+	}()
+	if len(sessions) == 0 {
+		return RoundReport{}, nil, ErrNoBids
+	}
+	p.logf("collected %d bids", len(sessions))
+
+	inst, err := p.buildInstance(sessions)
+	if err != nil {
+		return RoundReport{}, nil, err
+	}
+	auction, err := core.New(inst)
+	if err != nil {
+		return RoundReport{}, nil, fmt.Errorf("protocol: building auction: %w", err)
+	}
+	outcome := auction.Run(rand.New(rand.NewSource(p.cfg.Seed)))
+	p.logf("clearing price %.2f with %d winners", outcome.Price, len(outcome.Winners))
+
+	report := RoundReport{
+		Bidders: len(sessions),
+		Outcome: outcome,
+	}
+	for _, s := range sessions {
+		report.WorkerIDs = append(report.WorkerIDs, s.workerID)
+	}
+
+	winners := make(map[int]bool, len(outcome.Winners))
+	for _, w := range outcome.Winners {
+		winners[w] = true
+	}
+
+	// Notify losers and release them.
+	for i, s := range sessions {
+		if winners[i] {
+			continue
+		}
+		_ = s.conn.Send(Message{Type: TypeOutcome, Won: false})
+		_ = s.conn.Send(Message{Type: TypeDone})
+	}
+
+	// Winners: request labels, collect, settle.
+	var reports []crowd.Report
+	for i, s := range sessions {
+		if !winners[i] {
+			continue
+		}
+		if err := s.conn.Send(Message{Type: TypeOutcome, Won: true, ClearingPrice: outcome.Price}); err != nil {
+			p.logf("winner %s dropped before labeling: %v", s.workerID, err)
+			continue
+		}
+		m, err := s.conn.Expect(TypeLabels)
+		if err != nil {
+			p.logf("winner %s failed to deliver labels: %v", s.workerID, err)
+			continue
+		}
+		for _, lr := range m.Reports {
+			if lr.Task < 0 || lr.Task >= p.cfg.NumTasks {
+				continue
+			}
+			reports = append(reports, crowd.Report{Worker: i, Task: lr.Task, Label: crowd.Label(lr.Label)})
+		}
+		_ = s.conn.Send(Message{Type: TypePayment, Amount: outcome.Price})
+		_ = s.conn.Send(Message{Type: TypeDone})
+	}
+	report.ReportsReceived = len(reports)
+
+	agg, err := crowd.WeightedAggregate(reports, inst.Skills, inst.NumTasks)
+	if err != nil {
+		return RoundReport{}, nil, fmt.Errorf("protocol: aggregation: %w", err)
+	}
+	report.Aggregated = agg
+	return report, reports, nil
+}
+
+// collectBids accepts connections and performs the hello/announce/bid
+// handshake until the bid window closes, MinWorkers is reached, or ctx
+// is cancelled.
+func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session, error) {
+	windowCtx, cancel := context.WithTimeout(ctx, p.cfg.BidWindow)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		sessions []*session
+		seen     = make(map[string]bool)
+		wg       sync.WaitGroup
+	)
+
+	// Unblock Accept when the window ends by closing a watchdog.
+	acceptDone := make(chan struct{})
+	go func() {
+		<-windowCtx.Done()
+		// Poke the listener with a self-connection so Accept returns
+		// even on platforms without deadline support on this listener.
+		if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+			_ = conn.Close()
+		}
+		close(acceptDone)
+	}()
+
+	for {
+		select {
+		case <-windowCtx.Done():
+			wg.Wait()
+			<-acceptDone
+			return sessions, nil
+		default:
+		}
+		if tl, ok := ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(time.Now().Add(100 * time.Millisecond))
+		}
+		raw, err := ln.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			select {
+			case <-windowCtx.Done():
+				wg.Wait()
+				return sessions, nil
+			default:
+			}
+			return nil, fmt.Errorf("protocol: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := p.handshake(raw)
+			if err != nil {
+				_ = raw.Close()
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[s.workerID] {
+				_ = s.conn.SendError(fmt.Errorf("%w: %s", ErrDuplicateBid, s.workerID))
+				_ = s.conn.Close()
+				return
+			}
+			seen[s.workerID] = true
+			sessions = append(sessions, s)
+			if p.cfg.MinWorkers > 0 && len(sessions) >= p.cfg.MinWorkers {
+				cancel()
+			}
+		}()
+	}
+}
+
+// handshake runs hello -> announce -> bid on a fresh connection.
+func (p *Platform) handshake(raw net.Conn) (*session, error) {
+	conn := NewConn(raw, p.cfg.IOTimeout)
+	hello, err := conn.Expect(TypeHello)
+	if err != nil {
+		return nil, err
+	}
+	if hello.WorkerID == "" {
+		return nil, conn.SendError(errors.New("protocol: empty worker id"))
+	}
+	announce := Message{
+		Type:            TypeAnnounce,
+		NumTasks:        p.cfg.NumTasks,
+		Thresholds:      p.cfg.Thresholds,
+		Epsilon:         p.cfg.Epsilon,
+		CMin:            p.cfg.CMin,
+		CMax:            p.cfg.CMax,
+		PriceGrid:       p.cfg.PriceGrid,
+		BidWindowMillis: p.cfg.BidWindow.Milliseconds(),
+	}
+	if err := conn.Send(announce); err != nil {
+		return nil, err
+	}
+	bid, err := conn.Expect(TypeBid)
+	if err != nil {
+		return nil, err
+	}
+	if len(bid.Bundle) == 0 || bid.Price < p.cfg.CMin || bid.Price > p.cfg.CMax {
+		return nil, conn.SendError(fmt.Errorf("protocol: invalid bid from %s", hello.WorkerID))
+	}
+	return &session{
+		conn:     conn,
+		workerID: hello.WorkerID,
+		bundle:   bid.Bundle,
+		price:    bid.Price,
+	}, nil
+}
+
+// buildInstance assembles the auction instance from accepted bids and
+// the platform's skill records.
+func (p *Platform) buildInstance(sessions []*session) (core.Instance, error) {
+	inst := core.Instance{
+		NumTasks:   p.cfg.NumTasks,
+		Thresholds: append([]float64(nil), p.cfg.Thresholds...),
+		Epsilon:    p.cfg.Epsilon,
+		CMin:       p.cfg.CMin,
+		CMax:       p.cfg.CMax,
+		PriceGrid:  append([]float64(nil), p.cfg.PriceGrid...),
+	}
+	for _, s := range sessions {
+		inst.Workers = append(inst.Workers, core.Worker{
+			ID:     s.workerID,
+			Bundle: append([]int(nil), s.bundle...),
+			Bid:    s.price,
+		})
+		inst.Skills = append(inst.Skills, p.cfg.Skills(s.workerID, p.cfg.NumTasks))
+	}
+	if err := inst.Validate(); err != nil {
+		return core.Instance{}, fmt.Errorf("protocol: assembled instance invalid: %w", err)
+	}
+	return inst, nil
+}
+
+// logf logs when a logger is configured.
+func (p *Platform) logf(format string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,152 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/crowd"
+)
+
+// Worker-side errors.
+var (
+	ErrBadWorker = errors.New("protocol: invalid worker configuration")
+	ErrRejected  = errors.New("protocol: bid rejected by platform")
+)
+
+// LabelFunc produces the worker's sensed label for a task, invoked only
+// for tasks in her bundle after she wins.
+type LabelFunc func(task int) crowd.Label
+
+// WorkerConfig describes one participating worker client.
+type WorkerConfig struct {
+	// ID identifies the worker to the platform.
+	ID string
+	// Bundle is the worker's interested task set (sorted, unique).
+	Bundle []int
+	// Cost is the worker's true cost; under the mechanism's approximate
+	// truthfulness the client bids it directly.
+	Cost float64
+	// Labels senses a task; required.
+	Labels LabelFunc
+	// IOTimeout bounds each message exchange; defaults to 10s.
+	IOTimeout time.Duration
+}
+
+// validate checks the configuration.
+func (c *WorkerConfig) validate() error {
+	switch {
+	case c.ID == "":
+		return fmt.Errorf("%w: empty id", ErrBadWorker)
+	case len(c.Bundle) == 0:
+		return fmt.Errorf("%w: empty bundle", ErrBadWorker)
+	case c.Labels == nil:
+		return fmt.Errorf("%w: nil LabelFunc", ErrBadWorker)
+	case c.Cost < 0:
+		return fmt.Errorf("%w: negative cost", ErrBadWorker)
+	}
+	return nil
+}
+
+// WorkerReport is the client-side record of one round.
+type WorkerReport struct {
+	// Won reports whether the worker was selected.
+	Won bool
+	// ClearingPrice is the auction price (zero for losers).
+	ClearingPrice float64
+	// Payment is the settled amount (zero for losers).
+	Payment float64
+	// Utility is Payment - Cost for winners, zero otherwise.
+	Utility float64
+	// LabelsSent counts reports submitted.
+	LabelsSent int
+}
+
+// Participate connects to the platform at addr, submits a truthful bid,
+// and — if selected — senses the bundle and collects payment. ctx
+// bounds the whole exchange.
+func Participate(ctx context.Context, addr string, cfg WorkerConfig) (WorkerReport, error) {
+	if err := cfg.validate(); err != nil {
+		return WorkerReport{}, err
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 10 * time.Second
+	}
+
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return WorkerReport{}, fmt.Errorf("protocol: dialing platform: %w", err)
+	}
+	conn := NewConn(raw, cfg.IOTimeout)
+	defer conn.Close()
+
+	// Cancel-aware teardown: close the conn if ctx dies mid-exchange so
+	// blocked reads return promptly.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := conn.Send(Message{Type: TypeHello, WorkerID: cfg.ID}); err != nil {
+		return WorkerReport{}, err
+	}
+	announce, err := conn.Expect(TypeAnnounce)
+	if err != nil {
+		return WorkerReport{}, err
+	}
+	for _, task := range cfg.Bundle {
+		if task < 0 || task >= announce.NumTasks {
+			return WorkerReport{}, fmt.Errorf("%w: bundle task %d outside announced %d tasks", ErrBadWorker, task, announce.NumTasks)
+		}
+	}
+	bidPrice := cfg.Cost
+	if bidPrice < announce.CMin {
+		bidPrice = announce.CMin
+	}
+	if bidPrice > announce.CMax {
+		bidPrice = announce.CMax
+	}
+	if err := conn.Send(Message{Type: TypeBid, WorkerID: cfg.ID, Bundle: cfg.Bundle, Price: bidPrice}); err != nil {
+		return WorkerReport{}, err
+	}
+
+	outcome, err := conn.Expect(TypeOutcome)
+	if err != nil {
+		if errors.Is(err, ErrRemote) {
+			return WorkerReport{}, fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		return WorkerReport{}, err
+	}
+	report := WorkerReport{Won: outcome.Won, ClearingPrice: outcome.ClearingPrice}
+	if !outcome.Won {
+		_, _ = conn.Expect(TypeDone) // best-effort drain
+		return report, nil
+	}
+
+	// Sense and submit labels.
+	labels := Message{Type: TypeLabels, WorkerID: cfg.ID}
+	for _, task := range cfg.Bundle {
+		labels.Reports = append(labels.Reports, LabelReport{Task: task, Label: int8(cfg.Labels(task))})
+	}
+	if err := conn.Send(labels); err != nil {
+		return report, err
+	}
+	report.LabelsSent = len(labels.Reports)
+
+	payment, err := conn.Expect(TypePayment)
+	if err != nil {
+		return report, err
+	}
+	report.Payment = payment.Amount
+	report.Utility = payment.Amount - cfg.Cost
+	_, _ = conn.Expect(TypeDone)
+	return report, nil
+}

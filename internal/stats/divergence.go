@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrPMFMismatch reports that two distributions cannot be compared
+// because their supports have different sizes.
+var ErrPMFMismatch = errors.New("stats: distributions have different support sizes")
+
+// ErrNotPMF reports that a vector is not a probability mass function.
+var ErrNotPMF = errors.New("stats: vector is not a probability mass function")
+
+// pmfTolerance is the slack allowed when checking that a PMF sums to 1.
+const pmfTolerance = 1e-9
+
+// ValidatePMF checks that p is a PMF over its index set: entries are
+// non-negative and sum to 1 within tolerance.
+func ValidatePMF(p []float64) error {
+	if len(p) == 0 {
+		return ErrNotPMF
+	}
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return ErrNotPMF
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > pmfTolerance*float64(len(p)) {
+		return ErrNotPMF
+	}
+	return nil
+}
+
+// KLDivergence returns D_KL(p || q) = sum_x p(x) ln(p(x)/q(x)) in nats.
+// This is the privacy-leakage measure of Definition 8 in the paper.
+// Terms with p(x) == 0 contribute zero. If some x has p(x) > 0 but
+// q(x) == 0 the divergence is +Inf.
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, ErrPMFMismatch
+	}
+	if err := ValidatePMF(p); err != nil {
+		return 0, err
+	}
+	if err := ValidatePMF(q); err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1), nil
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	// Floating-point cancellation can produce a tiny negative value for
+	// nearly identical distributions; clamp since KL >= 0.
+	if d < 0 && d > -1e-12 {
+		d = 0
+	}
+	return d, nil
+}
+
+// MaxLogRatio returns max_x |ln p(x) - ln q(x)| over indices where
+// either PMF is positive. For an epsilon-differentially-private
+// mechanism this quantity is at most epsilon for any pair of PMFs
+// induced by adjacent inputs, so it is the exact empirical measure of
+// the differential-privacy guarantee.
+func MaxLogRatio(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, ErrPMFMismatch
+	}
+	worst := 0.0
+	for i := range p {
+		if p[i] == 0 && q[i] == 0 {
+			continue
+		}
+		if p[i] == 0 || q[i] == 0 {
+			return math.Inf(1), nil
+		}
+		r := math.Abs(math.Log(p[i]) - math.Log(q[i]))
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst, nil
+}
+
+// TotalVariation returns the total-variation distance between two PMFs
+// on the same support: (1/2) sum |p - q|.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, ErrPMFMismatch
+	}
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2, nil
+}

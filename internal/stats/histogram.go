@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations into equal-width bins over [Lo, Hi).
+// Observations outside the range are clamped into the first or last bin
+// and tracked separately as underflow/overflow.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	total     int
+}
+
+// NewHistogram returns a histogram with bins equal-width bins spanning
+// [lo, hi). It panics if bins < 1 or hi <= lo, which are programmer
+// errors.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	idx := int((x - h.Lo) / width)
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+		h.Counts[0]++
+	case idx >= len(h.Counts):
+		if x > h.Hi {
+			h.Overflow++
+		}
+		h.Counts[len(h.Counts)-1]++
+	default:
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// PMF returns the normalized bin frequencies. For an empty histogram it
+// returns all zeros.
+func (h *Histogram) PMF() []float64 {
+	pmf := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return pmf
+	}
+	for i, c := range h.Counts {
+		pmf[i] = float64(c) / float64(h.total)
+	}
+	return pmf
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// String renders a compact ASCII view of the histogram, one line per
+// bin with a proportional bar.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const barWidth = 40
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		fmt.Fprintf(&b, "%10.3f | %-*s %d\n", h.BinCenter(i), barWidth, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

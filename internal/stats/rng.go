@@ -1,0 +1,104 @@
+// Package stats provides the numerical building blocks shared by the
+// DP-hSRC auction, the crowd simulator and the experiment harness:
+// deterministic random-number generation, streaming summary statistics,
+// histograms and information-theoretic divergences.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to derive independent child seeds from a root seed so that
+// every component of an experiment draws from its own stream, making
+// whole experiments reproducible from a single seed.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seeder derives statistically independent child seeds from a root seed.
+// The zero value derives from seed 0; construct with NewSeeder for an
+// explicit root.
+type Seeder struct {
+	state uint64
+}
+
+// NewSeeder returns a Seeder rooted at the given seed.
+func NewSeeder(seed int64) *Seeder {
+	return &Seeder{state: uint64(seed)}
+}
+
+// Next returns the next derived seed.
+func (s *Seeder) Next() int64 {
+	return int64(splitMix64(&s.state))
+}
+
+// NewRand returns a *rand.Rand seeded with the next derived seed.
+func (s *Seeder) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(s.Next()))
+}
+
+// UniformIn returns a value drawn uniformly from [lo, hi).
+func UniformIn(r *rand.Rand, lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// UniformIntIn returns an integer drawn uniformly from [lo, hi] inclusive.
+func UniformIntIn(r *rand.Rand, lo, hi int) int {
+	if hi < lo {
+		panic("stats: UniformIntIn requires lo <= hi")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// UniformGrid returns a value drawn uniformly from the grid
+// {lo, lo+step, ..., lo+k*step <= hi}. The paper draws worker costs from
+// numbers spaced at interval 0.1 in [cmin, cmax]; this helper reproduces
+// that discretized sampling exactly.
+func UniformGrid(r *rand.Rand, lo, hi, step float64) float64 {
+	n := int((hi-lo)/step + 1e-9)
+	return lo + float64(r.Intn(n+1))*step
+}
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly
+// from [0, n). It runs in O(k) expected time using a partial
+// Fisher-Yates shuffle over a sparse map.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	if k > n {
+		panic("stats: SampleWithoutReplacement requires k <= n")
+	}
+	swapped := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		swapped[j] = vi
+	}
+	return out
+}
+
+// Gumbel returns a sample from the standard Gumbel distribution.
+// Adding independent Gumbel noise to log-weights and taking the argmax
+// samples from the softmax of those log-weights (the "Gumbel-max
+// trick"), which is how the exponential mechanism is sampled without
+// ever exponentiating potentially huge magnitudes.
+func Gumbel(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(-math.Log(u))
+}

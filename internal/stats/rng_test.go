@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeederDeterminism(t *testing.T) {
+	a := NewSeeder(42)
+	b := NewSeeder(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Next(), b.Next(); got != want {
+			t.Fatalf("seed stream diverged at %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestSeederIndependentStreams(t *testing.T) {
+	s := NewSeeder(1)
+	first := s.Next()
+	second := s.Next()
+	if first == second {
+		t.Fatalf("consecutive derived seeds equal: %d", first)
+	}
+}
+
+func TestSeederDifferentRoots(t *testing.T) {
+	if NewSeeder(1).Next() == NewSeeder(2).Next() {
+		t.Fatal("different roots produced the same first seed")
+	}
+}
+
+func TestUniformInBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := UniformIn(r, 2.5, 9.5)
+		if v < 2.5 || v >= 9.5 {
+			t.Fatalf("UniformIn out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformIntInBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := UniformIntIn(r, 3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("UniformIntIn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn in 1000 samples", v)
+		}
+	}
+}
+
+func TestUniformIntInPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for hi < lo")
+		}
+	}()
+	UniformIntIn(rand.New(rand.NewSource(1)), 5, 4)
+}
+
+func TestUniformGridOnGrid(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		v := UniformGrid(r, 10, 60, 0.1)
+		if v < 10-1e-12 || v > 60+1e-12 {
+			t.Fatalf("UniformGrid out of range: %v", v)
+		}
+		steps := (v - 10) / 0.1
+		if math.Abs(steps-math.Round(steps)) > 1e-6 {
+			t.Fatalf("UniformGrid off-grid value: %v", v)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(50)
+		k := r.Intn(n + 1)
+		out := SampleWithoutReplacement(r, n, k)
+		if len(out) != k {
+			t.Fatalf("want %d samples, got %d", k, len(out))
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range out {
+			if v < 0 || v >= n {
+				t.Fatalf("sample %d outside [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,10) should appear in a 5-subset with
+	// probability 1/2; check empirical frequencies.
+	r := rand.New(rand.NewSource(9))
+	const trials = 20000
+	counts := make([]int, 10)
+	for t := 0; t < trials; t++ {
+		for _, v := range SampleWithoutReplacement(r, 10, 5) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		freq := float64(c) / trials
+		if math.Abs(freq-0.5) > 0.02 {
+			t.Errorf("element %d frequency %.3f, want ~0.5", v, freq)
+		}
+	}
+}
+
+func TestGumbelMoments(t *testing.T) {
+	// Standard Gumbel has mean = Euler-Mascheroni (~0.5772) and
+	// variance pi^2/6 (~1.6449).
+	r := rand.New(rand.NewSource(123))
+	var a Accumulator
+	for i := 0; i < 200000; i++ {
+		a.Add(Gumbel(r))
+	}
+	if math.Abs(a.Mean()-0.5772) > 0.02 {
+		t.Errorf("Gumbel mean %.4f, want ~0.5772", a.Mean())
+	}
+	if math.Abs(a.Variance()-math.Pi*math.Pi/6) > 0.05 {
+		t.Errorf("Gumbel variance %.4f, want ~1.6449", a.Variance())
+	}
+}
+
+func TestSampleWithoutReplacementQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		k := int(kRaw) % (n + 1)
+		out := SampleWithoutReplacement(r, n, k)
+		seen := make(map[int]bool)
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(out) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

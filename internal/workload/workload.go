@@ -1,0 +1,194 @@
+// Package workload generates the simulation instances of the paper's
+// evaluation (Table I, Settings I-IV): N workers with uniformly random
+// bundles, skill levels, costs and error thresholds, and the candidate
+// price grid of numbers spaced 0.1 apart in [35, 60].
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/stats"
+)
+
+// ErrBadParams reports inconsistent generator parameters.
+var ErrBadParams = errors.New("workload: invalid parameters")
+
+// Params describes one simulated instance family, mirroring a row of
+// Table I.
+type Params struct {
+	// N and K are the worker and task counts.
+	N, K int
+	// Epsilon is the privacy budget.
+	Epsilon float64
+	// CMin and CMax bound worker costs; costs are drawn from the grid
+	// spaced CostStep apart in [CMin, CMax].
+	CMin, CMax, CostStep float64
+	// BundleMin and BundleMax bound the interested-bundle size |Gamma|.
+	BundleMin, BundleMax int
+	// ThetaMin and ThetaMax bound the uniformly drawn skill levels.
+	ThetaMin, ThetaMax float64
+	// DeltaMin and DeltaMax bound the uniformly drawn per-task error
+	// thresholds.
+	DeltaMin, DeltaMax float64
+	// PriceLo, PriceHi and PriceStep define the candidate price grid.
+	PriceLo, PriceHi, PriceStep float64
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0 || p.K <= 0:
+		return fmt.Errorf("%w: N=%d K=%d", ErrBadParams, p.N, p.K)
+	case p.CMin < 0 || p.CMax < p.CMin || p.CostStep <= 0:
+		return fmt.Errorf("%w: cost range [%v,%v] step %v", ErrBadParams, p.CMin, p.CMax, p.CostStep)
+	case p.BundleMin < 1 || p.BundleMax < p.BundleMin:
+		return fmt.Errorf("%w: bundle size [%d,%d]", ErrBadParams, p.BundleMin, p.BundleMax)
+	case p.ThetaMin < 0 || p.ThetaMax > 1 || p.ThetaMax < p.ThetaMin:
+		return fmt.Errorf("%w: theta range [%v,%v]", ErrBadParams, p.ThetaMin, p.ThetaMax)
+	case p.DeltaMin <= 0 || p.DeltaMax >= 1 || p.DeltaMax < p.DeltaMin:
+		return fmt.Errorf("%w: delta range [%v,%v]", ErrBadParams, p.DeltaMin, p.DeltaMax)
+	case p.PriceLo <= 0 || p.PriceHi < p.PriceLo || p.PriceStep <= 0:
+		return fmt.Errorf("%w: price grid [%v,%v] step %v", ErrBadParams, p.PriceLo, p.PriceHi, p.PriceStep)
+	case p.Epsilon <= 0:
+		return fmt.Errorf("%w: epsilon=%v", ErrBadParams, p.Epsilon)
+	}
+	return nil
+}
+
+// Generate draws one instance from the family. Bundle sizes are capped
+// at K so small-task-count variants of a setting remain valid.
+func (p Params) Generate(r *rand.Rand) (core.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return core.Instance{}, err
+	}
+	inst := core.Instance{
+		NumTasks:   p.K,
+		Thresholds: make([]float64, p.K),
+		Workers:    make([]core.Worker, p.N),
+		Skills:     make([][]float64, p.N),
+		Epsilon:    p.Epsilon,
+		CMin:       p.CMin,
+		CMax:       p.CMax,
+		PriceGrid:  core.PriceGridRange(p.PriceLo, p.PriceHi, p.PriceStep),
+	}
+	for j := range inst.Thresholds {
+		inst.Thresholds[j] = stats.UniformIn(r, p.DeltaMin, p.DeltaMax)
+	}
+	bundleMax := p.BundleMax
+	if bundleMax > p.K {
+		bundleMax = p.K
+	}
+	bundleMin := p.BundleMin
+	if bundleMin > bundleMax {
+		bundleMin = bundleMax
+	}
+	for i := 0; i < p.N; i++ {
+		size := stats.UniformIntIn(r, bundleMin, bundleMax)
+		bundle := stats.SampleWithoutReplacement(r, p.K, size)
+		sortInts(bundle)
+		inst.Workers[i] = core.Worker{
+			ID:     fmt.Sprintf("w%d", i),
+			Bundle: bundle,
+			Bid:    stats.UniformGrid(r, p.CMin, p.CMax, p.CostStep),
+		}
+		row := make([]float64, p.K)
+		for j := range row {
+			row[j] = stats.UniformIn(r, p.ThetaMin, p.ThetaMax)
+		}
+		inst.Skills[i] = row
+	}
+	return inst, nil
+}
+
+// sortInts is a tiny insertion sort; bundles are short and this avoids
+// pulling sort into the hot generation loop for large N.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}
+
+// base returns the parameter values shared by all four settings of
+// Table I.
+func base() Params {
+	return Params{
+		Epsilon:   0.1,
+		CMin:      10,
+		CMax:      60,
+		CostStep:  0.1,
+		ThetaMin:  0.1,
+		ThetaMax:  0.9,
+		DeltaMin:  0.1,
+		DeltaMax:  0.2,
+		PriceLo:   35,
+		PriceHi:   60,
+		PriceStep: 0.1,
+	}
+}
+
+// SettingI is Table I row I: K=30 tasks, N in [80, 140] workers,
+// bundles of 10-20 tasks.
+func SettingI(n int) Params {
+	p := base()
+	p.N = n
+	p.K = 30
+	p.BundleMin, p.BundleMax = 10, 20
+	return p
+}
+
+// SettingII is Table I row II: N=120 workers, K in [20, 50] tasks.
+func SettingII(k int) Params {
+	p := base()
+	p.N = 120
+	p.K = k
+	p.BundleMin, p.BundleMax = 10, 20
+	return p
+}
+
+// SettingIII is Table I row III: K=200 tasks, N in [800, 1400] workers,
+// bundles of 50-150 tasks.
+func SettingIII(n int) Params {
+	p := base()
+	p.N = n
+	p.K = 200
+	p.BundleMin, p.BundleMax = 50, 150
+	return p
+}
+
+// SettingIV is Table I row IV: N=1000 workers, K in [200, 500] tasks.
+func SettingIV(k int) Params {
+	p := base()
+	p.N = 1000
+	p.K = k
+	p.BundleMin, p.BundleMax = 50, 150
+	return p
+}
+
+// Scaled returns a copy of p with worker and task counts multiplied by
+// f (at least 1 each). The experiment harness uses it to shrink
+// exact-optimal comparisons to sizes the branch-and-bound can prove
+// within budget; EXPERIMENTS.md records the scales used.
+func (p Params) Scaled(f float64) Params {
+	q := p
+	q.N = maxInt(1, int(float64(p.N)*f))
+	q.K = maxInt(1, int(float64(p.K)*f))
+	if q.BundleMax > q.K {
+		q.BundleMax = q.K
+	}
+	if q.BundleMin > q.BundleMax {
+		q.BundleMin = q.BundleMax
+	}
+	return q
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

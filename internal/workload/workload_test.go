@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+)
+
+func TestSettingsMatchTableI(t *testing.T) {
+	cases := []struct {
+		name                 string
+		p                    Params
+		n, k                 int
+		bundleMin, bundleMax int
+	}{
+		{"I", SettingI(100), 100, 30, 10, 20},
+		{"II", SettingII(40), 120, 40, 10, 20},
+		{"III", SettingIII(1000), 1000, 200, 50, 150},
+		{"IV", SettingIV(300), 1000, 300, 50, 150},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.p
+			if p.N != tc.n || p.K != tc.k {
+				t.Errorf("N,K = %d,%d want %d,%d", p.N, p.K, tc.n, tc.k)
+			}
+			if p.BundleMin != tc.bundleMin || p.BundleMax != tc.bundleMax {
+				t.Errorf("bundle = [%d,%d] want [%d,%d]", p.BundleMin, p.BundleMax, tc.bundleMin, tc.bundleMax)
+			}
+			if p.Epsilon != 0.1 || p.CMin != 10 || p.CMax != 60 {
+				t.Errorf("shared params wrong: %+v", p)
+			}
+			if p.PriceLo != 35 || p.PriceHi != 60 || p.PriceStep != 0.1 {
+				t.Errorf("price grid wrong: %+v", p)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("setting invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := SettingI(100)
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero N", func(p *Params) { p.N = 0 }},
+		{"zero K", func(p *Params) { p.K = 0 }},
+		{"cost range", func(p *Params) { p.CMax = p.CMin - 1 }},
+		{"cost step", func(p *Params) { p.CostStep = 0 }},
+		{"bundle min", func(p *Params) { p.BundleMin = 0 }},
+		{"bundle order", func(p *Params) { p.BundleMax = p.BundleMin - 1 }},
+		{"theta range", func(p *Params) { p.ThetaMax = 1.5 }},
+		{"delta low", func(p *Params) { p.DeltaMin = 0 }},
+		{"delta high", func(p *Params) { p.DeltaMax = 1 }},
+		{"price grid", func(p *Params) { p.PriceStep = 0 }},
+		{"epsilon", func(p *Params) { p.Epsilon = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+				t.Errorf("want ErrBadParams, got %v", err)
+			}
+			if _, err := p.Generate(rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadParams) {
+				t.Errorf("Generate should reject too, got %v", err)
+			}
+		})
+	}
+}
+
+func TestGenerateProducesValidInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, p := range []Params{SettingI(80), SettingII(20)} {
+		inst, err := p.Generate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("generated instance invalid: %v", err)
+		}
+		if len(inst.Workers) != p.N || inst.NumTasks != p.K {
+			t.Errorf("size mismatch: %d workers %d tasks", len(inst.Workers), inst.NumTasks)
+		}
+		for i, w := range inst.Workers {
+			if len(w.Bundle) < p.BundleMin || len(w.Bundle) > p.BundleMax {
+				t.Errorf("worker %d bundle size %d outside [%d,%d]", i, len(w.Bundle), p.BundleMin, p.BundleMax)
+			}
+			steps := (w.Bid - p.CMin) / p.CostStep
+			if math.Abs(steps-math.Round(steps)) > 1e-6 {
+				t.Errorf("worker %d bid %v off the cost grid", i, w.Bid)
+			}
+		}
+		for j, d := range inst.Thresholds {
+			if d < p.DeltaMin || d > p.DeltaMax {
+				t.Errorf("task %d delta %v outside [%v,%v]", j, d, p.DeltaMin, p.DeltaMax)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	p := SettingI(90)
+	a, err := p.Generate(rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Workers {
+		if a.Workers[i].Bid != b.Workers[i].Bid {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+}
+
+func TestGeneratedSettingIIsAuctionFeasible(t *testing.T) {
+	// The paper's evaluation depends on Setting I instances being
+	// feasible at the price grid; verify across seeds.
+	for seed := int64(0); seed < 5; seed++ {
+		p := SettingI(80)
+		inst, err := p.Generate(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.New(inst); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestBundleCappedAtK(t *testing.T) {
+	p := SettingII(12) // K=12 < BundleMax=20
+	inst, err := p.Generate(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range inst.Workers {
+		if len(w.Bundle) > 12 {
+			t.Fatalf("worker %d bundle %d exceeds K", i, len(w.Bundle))
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := SettingIII(800).Scaled(0.1)
+	if p.N != 80 || p.K != 20 {
+		t.Errorf("scaled N,K = %d,%d want 80,20", p.N, p.K)
+	}
+	if p.BundleMax > p.K {
+		t.Errorf("scaled bundle max %d exceeds K %d", p.BundleMax, p.K)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("scaled params invalid: %v", err)
+	}
+	tinyp := SettingI(10).Scaled(0.001)
+	if tinyp.N < 1 || tinyp.K < 1 {
+		t.Error("scaling must floor at 1")
+	}
+}
