@@ -1,0 +1,27 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz-smoke
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The default test target runs with the race detector: the distributed
+# protocol and the fault-injection suite are exactly the code most
+# likely to hide data races.
+test:
+	$(GO) test -race ./...
+
+race: test
+
+# Short fuzzing passes over the wire-format and instance-validation
+# targets, seeded from the on-disk corpora under testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test ./internal/protocol/ -run='^$$' -fuzz='^FuzzMessageDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/protocol/ -run='^$$' -fuzz='^FuzzConnRecv$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzValidate$$' -fuzztime=$(FUZZTIME)

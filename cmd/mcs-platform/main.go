@@ -46,6 +46,8 @@ func run(args []string) error {
 		cmax       = fs.Float64("cmax", 30, "maximum worker cost")
 		window     = fs.Duration("window", 15*time.Second, "bid collection window")
 		minWorkers = fs.Int("min-workers", 0, "close the window early after this many bids (0 = wait out the window)")
+		quorum     = fs.Int("quorum", 1, "minimum accepted bids to run the auction (fewer fails the round typed, spending no budget)")
+		ioTimeout  = fs.Duration("io-timeout", 10*time.Second, "per-message exchange deadline")
 		seed       = fs.Int64("seed", 0, "mechanism seed (0 = from clock)")
 		skillLo    = fs.Float64("skill-lo", 0.75, "lower bound of simulated historical skills")
 		skillHi    = fs.Float64("skill-hi", 0.95, "upper bound of simulated historical skills")
@@ -68,6 +70,8 @@ func run(args []string) error {
 		Skills:     hashedSkills(*skillLo, *skillHi),
 		BidWindow:  *window,
 		MinWorkers: *minWorkers,
+		Quorum:     *quorum,
+		IOTimeout:  *ioTimeout,
 		Seed:       *seed,
 		Logger:     log.New(os.Stderr, "platform ", log.LstdFlags),
 	}
@@ -100,6 +104,7 @@ func run(args []string) error {
 		"reports_received": report.ReportsReceived,
 		"aggregated":       report.Aggregated,
 		"worker_ids":       report.WorkerIDs,
+		"faults":           report.Faults,
 	})
 }
 

@@ -41,6 +41,15 @@ func run(args []string) error {
 		accuracy  = fs.Float64("accuracy", 0.9, "simulated sensing accuracy")
 		truthSeed = fs.Int64("truth-seed", 99, "seed of the shared simulated ground truth")
 		timeout   = fs.Duration("timeout", 60*time.Second, "overall participation timeout")
+
+		retries        = fs.Int("retries", 3, "maximum participation attempts before giving up")
+		retryBase      = fs.Duration("retry-base", 100*time.Millisecond, "base backoff between attempts (doubles per attempt, with jitter)")
+		attemptTimeout = fs.Duration("attempt-timeout", 0, "per-attempt deadline (0 = whole participation timeout)")
+
+		chaosDrop    = fs.Float64("chaos-drop", 0, "inject: probability a sent frame is silently dropped")
+		chaosDelay   = fs.Float64("chaos-delay", 0, "inject: probability a sent frame is delayed")
+		chaosCorrupt = fs.Float64("chaos-corrupt", 0, "inject: probability a sent frame has one byte corrupted")
+		chaosSeed    = fs.Int64("chaos-seed", 1, "seed of the deterministic fault schedule")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,12 +81,28 @@ func run(args []string) error {
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
 
-	report, err := dphsrc.Participate(ctx, *addr, dphsrc.WorkerConfig{
-		ID:     *id,
-		Bundle: bundle,
-		Cost:   *cost,
-		Labels: labels,
-	})
+	cfg := dphsrc.WorkerConfig{
+		ID:             *id,
+		Bundle:         bundle,
+		Cost:           *cost,
+		Labels:         labels,
+		Retry:          dphsrc.RetryPolicy{MaxAttempts: *retries, BaseBackoff: *retryBase},
+		AttemptTimeout: *attemptTimeout,
+	}
+	if *chaosDrop > 0 || *chaosDelay > 0 || *chaosCorrupt > 0 {
+		inj, err := dphsrc.NewFaultInjector(dphsrc.FaultPlan{
+			Seed:        *chaosSeed,
+			DropRate:    *chaosDrop,
+			DelayRate:   *chaosDelay,
+			CorruptRate: *chaosCorrupt,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Dialer = &dphsrc.FaultDialer{Injector: inj, Key: *id}
+	}
+
+	report, err := dphsrc.Participate(ctx, *addr, cfg)
 	if err != nil {
 		return err
 	}

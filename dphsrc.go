@@ -36,6 +36,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/experiment"
+	"github.com/dphsrc/dphsrc/internal/faultnet"
 	"github.com/dphsrc/dphsrc/internal/geo"
 	"github.com/dphsrc/dphsrc/internal/ilp"
 	"github.com/dphsrc/dphsrc/internal/mechanism"
@@ -289,7 +290,40 @@ type (
 	SkillFunc = protocol.SkillFunc
 	// LabelFunc produces a worker's sensed label for a task.
 	LabelFunc = protocol.LabelFunc
+	// RoundFaults tallies the transport failures a round absorbed.
+	RoundFaults = protocol.RoundFaults
+	// RetryPolicy shapes a worker's exponential-backoff retry loop.
+	RetryPolicy = protocol.RetryPolicy
+	// ContextDialer is the injectable connection factory the worker
+	// client dials through (net.Dialer satisfies it).
+	ContextDialer = protocol.ContextDialer
 )
+
+// ErrQuorumNotMet reports a round that closed its bid window with
+// fewer than PlatformConfig.Quorum valid bids.
+var ErrQuorumNotMet = protocol.ErrQuorumNotMet
+
+// IsDegraded reports whether a round error is an expected degradation
+// (no bids, quorum not met, infeasible surviving bid set) rather than a
+// hard failure; degraded rounds spend no privacy budget.
+var IsDegraded = protocol.IsDegraded
+
+// Deterministic fault injection (internal/faultnet) for chaos-testing
+// the distributed protocol.
+type (
+	// FaultPlan is a seeded schedule of frame faults (drop, delay,
+	// duplicate, truncate, corrupt).
+	FaultPlan = faultnet.Plan
+	// FaultInjector wraps net.Conns so their writes suffer the plan's
+	// faults deterministically per connection key.
+	FaultInjector = faultnet.Injector
+	// FaultDialer is a ContextDialer that injects faults into every
+	// connection it opens, keying each dial attempt separately.
+	FaultDialer = faultnet.Dialer
+)
+
+// NewFaultInjector validates a fault plan and returns an injector.
+var NewFaultInjector = faultnet.New
 
 // NewPlatform validates the configuration and returns a Platform.
 var NewPlatform = protocol.NewPlatform

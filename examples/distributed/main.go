@@ -24,9 +24,16 @@ const (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		return fmt.Errorf("listen: %w", err)
 	}
 	defer ln.Close()
 
@@ -64,7 +71,7 @@ func main() {
 		Logger:     log.New(os.Stderr, "platform ", 0),
 	})
 	if err != nil {
-		log.Fatalf("platform: %v", err)
+		return fmt.Errorf("platform: %w", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -112,7 +119,7 @@ func main() {
 	wg.Wait()
 	res := <-platformCh
 	if res.err != nil {
-		log.Fatalf("round failed: %v", res.err)
+		return fmt.Errorf("round failed: %w", res.err)
 	}
 
 	fmt.Printf("\nround complete: %d bidders, price %.2f, %d winners, total payment %.2f\n",
@@ -132,6 +139,7 @@ func main() {
 		}
 		fmt.Printf("  %s: %s\n", workerName(i), status)
 	}
+	return nil
 }
 
 // workerName labels workers deterministically.

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSucceeds executes the full distributed round — a platform and
+// ten workers over loopback TCP — with the example's seeded
+// configuration; it must complete without error within its deadline
+// (the in-process equivalent of "go run . exits 0").
+func TestRunSucceeds(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("example failed: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("example hung")
+	}
+}

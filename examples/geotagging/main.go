@@ -13,8 +13,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 	"sort"
 
 	"github.com/dphsrc/dphsrc"
@@ -26,6 +26,13 @@ const (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geotagging:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	seeder := dphsrc.NewSeeder(7)
 	r := seeder.NewRand()
 
@@ -54,15 +61,15 @@ func main() {
 	}
 	warmup, err := dphsrc.Collect(r, truth, all, bundles, trueSkills)
 	if err != nil {
-		log.Fatalf("warm-up sensing: %v", err)
+		return fmt.Errorf("warm-up sensing: %w", err)
 	}
 	em, err := dphsrc.EstimateSkills(warmup, numDrivers, numSegments, dphsrc.EMOptions{})
 	if err != nil {
-		log.Fatalf("truth discovery: %v", err)
+		return fmt.Errorf("truth discovery: %w", err)
 	}
 	estSkills, err := dphsrc.SkillMatrix(em.Accuracy, bundles, numSegments)
 	if err != nil {
-		log.Fatalf("skill matrix: %v", err)
+		return fmt.Errorf("skill matrix: %w", err)
 	}
 	fmt.Printf("warm-up: EM converged=%v after %d iterations\n", em.Converged, em.Iterations)
 	fmt.Printf("skill estimation error (mean abs): %.3f\n", meanAbsDiff(em.Accuracy, trueAcc))
@@ -93,7 +100,7 @@ func main() {
 	}
 	auction, err := dphsrc.New(inst)
 	if err != nil {
-		log.Fatalf("auction: %v", err)
+		return fmt.Errorf("auction: %w", err)
 	}
 	outcome := auction.Run(r)
 	fmt.Printf("\nauction: price=%.2f, %d winning drivers, total payment %.2f\n",
@@ -104,15 +111,15 @@ func main() {
 	// estimated skills) and with plain majority vote for comparison.
 	reports, err := dphsrc.Collect(r, truth, outcome.Winners, bundles, trueSkills)
 	if err != nil {
-		log.Fatalf("sensing: %v", err)
+		return fmt.Errorf("sensing: %w", err)
 	}
 	weighted, err := dphsrc.WeightedAggregate(reports, estSkills, numSegments)
 	if err != nil {
-		log.Fatalf("aggregation: %v", err)
+		return fmt.Errorf("aggregation: %w", err)
 	}
 	majority, err := dphsrc.MajorityVote(reports, numSegments)
 	if err != nil {
-		log.Fatalf("majority vote: %v", err)
+		return fmt.Errorf("majority vote: %w", err)
 	}
 	wErr, _ := dphsrc.ErrorRate(weighted, truth)
 	mErr, _ := dphsrc.ErrorRate(majority, truth)
@@ -126,6 +133,7 @@ func main() {
 		}
 	}
 	fmt.Printf("correctly confirmed potholes: %d of %d\n", tagged, count(truth, dphsrc.Positive))
+	return nil
 }
 
 // commuteSegments draws a contiguous-ish commute of 8-16 segments.

@@ -13,19 +13,26 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"github.com/dphsrc/dphsrc"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "privacy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	seeder := dphsrc.NewSeeder(1234)
 	r := seeder.NewRand()
 
 	params := dphsrc.SettingI(90)
 	inst, err := params.Generate(r)
 	if err != nil {
-		log.Fatalf("workload: %v", err)
+		return fmt.Errorf("workload: %w", err)
 	}
 
 	// The colleague (worker 0) either bids low or high; everything else
@@ -40,17 +47,17 @@ func main() {
 
 	auctionLow, err := dphsrc.New(low, dphsrc.WithPriceSet(support))
 	if err != nil {
-		log.Fatalf("auction: %v", err)
+		return fmt.Errorf("auction: %w", err)
 	}
 	auctionHigh, err := dphsrc.New(high, dphsrc.WithPriceSet(support))
 	if err != nil {
-		log.Fatalf("auction: %v", err)
+		return fmt.Errorf("auction: %w", err)
 	}
 
 	// Part 1: the Theorem 2 bound, verified exactly.
 	leak, err := dphsrc.MeasureLeakage(auctionLow.Mechanism(), auctionHigh.Mechanism())
 	if err != nil {
-		log.Fatalf("leakage: %v", err)
+		return fmt.Errorf("leakage: %w", err)
 	}
 	fmt.Printf("epsilon = %g\n", inst.Epsilon)
 	fmt.Printf("max |ln P(x) - ln P'(x)| over all prices: %.6f (bound: %.6f) -> %v\n",
@@ -65,17 +72,17 @@ func main() {
 		cur.Epsilon = eps
 		a, err := dphsrc.New(cur, dphsrc.WithPriceSet(support))
 		if err != nil {
-			log.Fatalf("eps=%v: %v", eps, err)
+			return fmt.Errorf("eps=%v: %w", eps, err)
 		}
 		adj := cur.Clone()
 		adj.Workers[0].Bid = 55
 		b, err := dphsrc.New(adj, dphsrc.WithPriceSet(support))
 		if err != nil {
-			log.Fatalf("eps=%v: %v", eps, err)
+			return fmt.Errorf("eps=%v: %w", eps, err)
 		}
 		l, err := dphsrc.MeasureLeakage(a.Mechanism(), b.Mechanism())
 		if err != nil {
-			log.Fatalf("eps=%v: %v", eps, err)
+			return fmt.Errorf("eps=%v: %w", eps, err)
 		}
 		fmt.Printf("%-8g %-18.2f %.6f\n", eps, a.ExpectedPayment(), l.KL)
 	}
@@ -87,12 +94,12 @@ func main() {
 	// every possible attacker.
 	attacker, err := dphsrc.NewDistinguisher(auctionLow.PMF(), auctionHigh.PMF())
 	if err != nil {
-		log.Fatalf("attacker: %v", err)
+		return fmt.Errorf("attacker: %w", err)
 	}
 	exact := attacker.ExactAdvantage()
 	simulated, err := attacker.SimulateAdvantage(1, 20000, r)
 	if err != nil {
-		log.Fatalf("simulate: %v", err)
+		return fmt.Errorf("simulate: %w", err)
 	}
 	bound := dphsrc.AdvantageBound(inst.Epsilon)
 	fmt.Printf("\nattacker advantage after 1 observation: exact %.4f, simulated %.4f (DP cap: %.4f)\n",
@@ -103,10 +110,11 @@ func main() {
 	// lets an attacker reach 25%% advantage?
 	rounds, err := dphsrc.RoundsToDistinguish(inst.Epsilon, 0.25)
 	if err != nil {
-		log.Fatalf("rounds: %v", err)
+		return fmt.Errorf("rounds: %w", err)
 	}
 	fmt.Printf("composition: after k rounds the budget is k*%.2g (basic composition);\n", inst.Epsilon)
 	fmt.Printf("the DP bound first permits 25%% attacker advantage after %d repeated rounds\n", rounds)
 	fmt.Println("the colleague's bid stays hidden: distinguishing low from high bids",
 		"is barely better than a coin flip at eps=0.1")
+	return nil
 }

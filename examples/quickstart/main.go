@@ -5,12 +5,19 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"github.com/dphsrc/dphsrc"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	seeder := dphsrc.NewSeeder(42)
 	r := seeder.NewRand()
 
@@ -19,12 +26,12 @@ func main() {
 	params := dphsrc.SettingI(100)
 	inst, err := params.Generate(r)
 	if err != nil {
-		log.Fatalf("generating workload: %v", err)
+		return fmt.Errorf("generating workload: %w", err)
 	}
 
 	auction, err := dphsrc.New(inst)
 	if err != nil {
-		log.Fatalf("building auction: %v", err)
+		return fmt.Errorf("building auction: %w", err)
 	}
 
 	outcome := auction.Run(r)
@@ -47,9 +54,10 @@ func main() {
 	// Compare with the paper's baseline auction (static quality order).
 	baseline, err := dphsrc.New(inst, dphsrc.WithRule(dphsrc.RuleStatic))
 	if err != nil {
-		log.Fatalf("building baseline: %v", err)
+		return fmt.Errorf("building baseline: %w", err)
 	}
 	fmt.Printf("baseline expected payment: %.2f (DP-hSRC saves %.1f%%)\n",
 		baseline.ExpectedPayment(),
 		100*(1-auction.ExpectedPayment()/baseline.ExpectedPayment()))
+	return nil
 }

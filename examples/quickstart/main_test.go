@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRunSucceeds executes the example end to end with its built-in
+// seeded configuration; it must complete without error (the in-process
+// equivalent of "go run . exits 0").
+func TestRunSucceeds(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("example failed: %v", err)
+	}
+}

@@ -15,8 +15,10 @@ func FuzzValidate(f *testing.F) {
 	f.Add(int16(1), int16(1), math.Inf(1), 0.0, 0.0, 1.0, 0.5)
 	f.Add(int16(5), int16(3), 0.1, 10.0, 10.0, 0.999, 0.0)
 	f.Fuzz(func(t *testing.T, nRaw, kRaw int16, eps, cmin, cmax, delta, theta float64) {
-		n := int(nRaw) % 8
-		k := int(kRaw) % 6
+		// Go's % keeps the dividend's sign; fold negatives into range
+		// so the slice sizes below stay valid.
+		n := (int(nRaw)%8 + 8) % 8
+		k := (int(kRaw)%6 + 6) % 6
 		inst := Instance{
 			NumTasks: k,
 			Epsilon:  eps,

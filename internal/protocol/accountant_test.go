@@ -10,10 +10,10 @@ import (
 	"github.com/dphsrc/dphsrc/internal/mechanism"
 )
 
-// TestCampaignStopsAtPrivacyBudget: a platform metered by an accountant
-// refuses rounds once the composed epsilon is spent, without touching
-// the network.
-func TestCampaignStopsAtPrivacyBudget(t *testing.T) {
+// TestDegradedRoundsDoNotDebit: the accountant is charged at the
+// moment the price draw is committed, so rounds that fail before that
+// point — here, no bids at all — leave the budget untouched.
+func TestDegradedRoundsDoNotDebit(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -22,7 +22,7 @@ func TestCampaignStopsAtPrivacyBudget(t *testing.T) {
 
 	cfg := testPlatformConfig(t)
 	cfg.Epsilon = 0.5
-	acct, err := mechanism.NewAccountant(1.0) // two rounds' worth
+	acct, err := mechanism.NewAccountant(1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,18 +37,52 @@ func TestCampaignStopsAtPrivacyBudget(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	// No workers connect; rounds fail with ErrNoBids, but each attempt
-	// still debits the budget (the platform committed to a release).
-	for round := 0; round < 2; round++ {
+	// No workers connect; every attempt degrades with ErrNoBids and
+	// must not consume budget.
+	for round := 0; round < 3; round++ {
 		if _, err := platform.RunRound(ctx, ln); !errors.Is(err, ErrNoBids) {
 			t.Fatalf("round %d: want ErrNoBids, got %v", round, err)
 		}
+		if !IsDegraded(err) && err != nil {
+			t.Fatalf("round %d: ErrNoBids must classify as degraded", round)
+		}
 	}
-	// Third round: budget gone before any bid is read.
-	if _, err := platform.RunRound(ctx, ln); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+	if got := acct.Spent(); got != 0 {
+		t.Errorf("degraded rounds debited %v, want 0", got)
+	}
+}
+
+// TestBudgetRefusedBeforeCollectingBids: a platform whose remaining
+// budget cannot cover one round refuses immediately — before the bid
+// window even opens — with the typed budget error.
+func TestBudgetRefusedBeforeCollectingBids(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cfg := testPlatformConfig(t)
+	cfg.Epsilon = 0.5
+	acct, err := mechanism.NewAccountant(0.3) // cannot cover one round
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Accountant = acct
+	cfg.BidWindow = 5 * time.Second
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if _, err := platform.RunRound(context.Background(), ln); !errors.Is(err, mechanism.ErrBudgetExhausted) {
 		t.Fatalf("want ErrBudgetExhausted, got %v", err)
 	}
-	if acct.Remaining() > 1e-9 {
-		t.Errorf("remaining budget %v, want 0", acct.Remaining())
+	if time.Since(start) > time.Second {
+		t.Errorf("refusal waited %v; must not open the bid window", time.Since(start))
+	}
+	if got := acct.Spent(); got != 0 {
+		t.Errorf("refused round debited %v, want 0", got)
 	}
 }

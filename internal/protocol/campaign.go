@@ -101,6 +101,12 @@ type CampaignReport struct {
 	Rounds []RoundReport
 	// TotalPayment sums the platform's spend across rounds.
 	TotalPayment float64
+	// FailedRounds counts rounds skipped by RunCampaignTolerant after
+	// a degradation error (always zero under RunCampaign, which aborts
+	// on the first failure instead).
+	FailedRounds int
+	// RoundErrors records the degradation error text per skipped round.
+	RoundErrors []string
 }
 
 // RunCampaign executes `rounds` sequential auction rounds on the
@@ -120,6 +126,44 @@ func (p *Platform) RunCampaign(ctx context.Context, ln net.Listener, rounds int,
 		}
 		rep, reports, err := p.runRoundCollecting(ctx, ln)
 		if err != nil {
+			return campaign, fmt.Errorf("protocol: round %d: %w", round+1, err)
+		}
+		campaign.Rounds = append(campaign.Rounds, rep)
+		campaign.TotalPayment += rep.Outcome.TotalPayment
+		if store != nil {
+			if err := store.UpdateFromReports(reports, rep.WorkerIDs, p.cfg.NumTasks); err != nil {
+				return campaign, err
+			}
+		}
+		p.logf("round %d/%d complete: payment %.2f", round+1, rounds, rep.Outcome.TotalPayment)
+	}
+	return campaign, nil
+}
+
+// RunCampaignTolerant is RunCampaign for lossy networks: a round that
+// fails with a degradation error (see IsDegraded — no bids, no quorum,
+// infeasible surviving bid set) is recorded in FailedRounds/RoundErrors
+// and skipped rather than aborting the whole campaign. Degraded rounds
+// spend no privacy budget, so skipping is safe under composition. Hard
+// failures — context cancellation, budget exhaustion, listener errors —
+// still abort.
+func (p *Platform) RunCampaignTolerant(ctx context.Context, ln net.Listener, rounds int, store *SkillStore) (CampaignReport, error) {
+	if rounds <= 0 {
+		return CampaignReport{}, ErrNoRounds
+	}
+	var campaign CampaignReport
+	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return campaign, err
+		}
+		rep, reports, err := p.runRoundCollecting(ctx, ln)
+		if err != nil {
+			if IsDegraded(err) {
+				campaign.FailedRounds++
+				campaign.RoundErrors = append(campaign.RoundErrors, err.Error())
+				p.logf("round %d/%d degraded, skipping: %v", round+1, rounds, err)
+				continue
+			}
 			return campaign, fmt.Errorf("protocol: round %d: %w", round+1, err)
 		}
 		campaign.Rounds = append(campaign.Rounds, rep)

@@ -1,0 +1,655 @@
+package protocol
+
+// Deterministic chaos suite: full auction rounds and multi-round
+// campaigns run over fault-injected transports (internal/faultnet),
+// asserting the invariants that make the mechanism meaningful under
+// packet loss, delay, duplication, truncation, and corruption:
+//
+//   - the round either completes with >= Quorum bids or fails with a
+//     typed error — it never hangs past its deadline and never panics;
+//   - winners are a subset of accepted bidders and total payment is
+//     exactly price x |winners|;
+//   - the privacy accountant is debited exactly once per completed
+//     round and never for a degraded one;
+//   - identical seeds yield byte-identical round reports.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/crowd"
+	"github.com/dphsrc/dphsrc/internal/faultnet"
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+)
+
+// chaosOpts parameterizes one fault-injected round.
+type chaosOpts struct {
+	seed       int64
+	numWorkers int
+	numTasks   int
+	quorum     int
+	window     time.Duration
+	ioTimeout  time.Duration
+	plan       faultnet.Plan
+	retry      RetryPolicy
+	accountant *mechanism.Accountant
+}
+
+func defaultChaosOpts(seed int64, workers int) chaosOpts {
+	return chaosOpts{
+		seed:       seed,
+		numWorkers: workers,
+		numTasks:   6,
+		quorum:     workers / 5,
+		window:     2500 * time.Millisecond,
+		ioTimeout:  400 * time.Millisecond,
+		plan: faultnet.Plan{
+			Seed:      seed,
+			DropRate:  0.20,
+			DelayRate: 0.10,
+			Delay:     50 * time.Millisecond,
+		},
+		retry: RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: 100 * time.Millisecond,
+			MaxBackoff:  300 * time.Millisecond,
+			Jitter:      0.5,
+		},
+	}
+}
+
+func chaosWorkerID(i int) string { return fmt.Sprintf("w%02d", i) }
+
+func chaosPlatformConfig(o chaosOpts) PlatformConfig {
+	thresholds := make([]float64, o.numTasks)
+	for j := range thresholds {
+		thresholds[j] = 0.35
+	}
+	return PlatformConfig{
+		NumTasks:   o.numTasks,
+		Thresholds: thresholds,
+		Epsilon:    0.5,
+		CMin:       5,
+		CMax:       30,
+		PriceGrid:  core.PriceGridRange(10, 30, 1),
+		Skills: func(workerID string, n int) []float64 {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = 0.9
+			}
+			return row
+		},
+		BidWindow:  o.window,
+		MinWorkers: 0, // wait out the window: deterministic bid cutoff
+		Quorum:     o.quorum,
+		IOTimeout:  o.ioTimeout,
+		Seed:       o.seed,
+		Accountant: o.accountant,
+	}
+}
+
+// runChaosRound runs one full fault-injected round and fails the test
+// if the platform has not returned (success or error) within a hard
+// deadline — the no-hang guarantee.
+func runChaosRound(t *testing.T, o chaosOpts) (RoundReport, []WorkerReport, []error, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	platform, err := NewPlatform(chaosPlatformConfig(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultnet.New(o.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type result struct {
+		report RoundReport
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rep, err := platform.RunRound(ctx, ln)
+		resCh <- result{rep, err}
+	}()
+
+	workerReports := make([]WorkerReport, o.numWorkers)
+	workerErrs := make([]error, o.numWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < o.numWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := chaosWorkerID(i)
+			bundle := make([]int, o.numTasks)
+			for j := range bundle {
+				bundle[j] = j
+			}
+			obs := rand.New(rand.NewSource(int64(7000 + i)))
+			workerReports[i], workerErrs[i] = Participate(ctx, ln.Addr().String(), WorkerConfig{
+				ID:     id,
+				Bundle: bundle,
+				Cost:   6 + float64(i%20),
+				Labels: func(task int) crowd.Label {
+					if obs.Float64() < 0.9 {
+						return crowd.Positive
+					}
+					return crowd.Negative
+				},
+				IOTimeout:      o.ioTimeout,
+				Dialer:         &faultnet.Dialer{Injector: inj, Key: id},
+				Retry:          o.retry,
+				AttemptTimeout: 2 * o.ioTimeout * 3,
+			})
+		}(i)
+	}
+
+	// The no-hang guarantee: the round must resolve within the window
+	// plus bounded slack for handshake timeouts and label collection.
+	deadline := o.window + 20*time.Second
+	var res result
+	select {
+	case res = <-resCh:
+	case <-time.After(deadline):
+		t.Fatalf("round hung past %v", deadline)
+	}
+	wg.Wait()
+	return res.report, workerReports, workerErrs, res.err
+}
+
+// assertRoundInvariants checks the mechanism-level invariants on a
+// completed round.
+func assertRoundInvariants(t *testing.T, rep RoundReport, quorum int) {
+	t.Helper()
+	if rep.Bidders < quorum {
+		t.Errorf("completed round has %d bidders, below quorum %d", rep.Bidders, quorum)
+	}
+	if len(rep.WorkerIDs) != rep.Bidders {
+		t.Errorf("WorkerIDs has %d entries for %d bidders", len(rep.WorkerIDs), rep.Bidders)
+	}
+	seen := make(map[int]bool)
+	for _, w := range rep.Outcome.Winners {
+		if w < 0 || w >= rep.Bidders {
+			t.Errorf("winner index %d outside accepted bidders [0,%d)", w, rep.Bidders)
+		}
+		if seen[w] {
+			t.Errorf("winner index %d repeated", w)
+		}
+		seen[w] = true
+	}
+	wantPay := rep.Outcome.Price * float64(len(rep.Outcome.Winners))
+	if math.Abs(rep.Outcome.TotalPayment-wantPay) > 1e-9 {
+		t.Errorf("total payment %v != price %v x %d winners", rep.Outcome.TotalPayment, rep.Outcome.Price, len(rep.Outcome.Winners))
+	}
+}
+
+// assertTypedRoundError accepts only the documented degradation and
+// budget errors.
+func assertTypedRoundError(t *testing.T, err error) {
+	t.Helper()
+	if !IsDegraded(err) && !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("round failed with untyped error: %v", err)
+	}
+}
+
+// TestChaosFiftyWorkerRound is the acceptance scenario: 50 workers, 20%
+// frame drop and 10% delay injection. The round either completes with a
+// quorum of bids or returns a typed error; it never hangs and never
+// panics; and the same seed yields a byte-identical RoundReport.
+func TestChaosFiftyWorkerRound(t *testing.T) {
+	o := defaultChaosOpts(7, 50)
+
+	run := func() (RoundReport, error) {
+		rep, _, _, err := runChaosRound(t, o)
+		return rep, err
+	}
+	rep1, err1 := run()
+	if err1 == nil {
+		assertRoundInvariants(t, rep1, o.quorum)
+		if rep1.Faults.Total() == 0 {
+			t.Log("note: no faults tolerated this seed (unusual at 30% injection)")
+		}
+	} else {
+		assertTypedRoundError(t, err1)
+	}
+
+	rep2, err2 := run()
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("same seed diverged: run1 err=%v, run2 err=%v", err1, err2)
+	}
+	if err1 != nil {
+		if err1.Error() != err2.Error() {
+			t.Fatalf("same seed, different typed errors: %q vs %q", err1, err2)
+		}
+		return
+	}
+	b1, err := json.Marshal(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("same seed produced different reports:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestChaosHeavyFaultsStayTyped cranks every fault class at once on a
+// smaller crowd: whatever happens, the result is a completed quorum or
+// a typed error, within the deadline.
+func TestChaosHeavyFaultsStayTyped(t *testing.T) {
+	o := defaultChaosOpts(99, 16)
+	o.plan = faultnet.Plan{
+		Seed:          99,
+		DropRate:      0.25,
+		DelayRate:     0.10,
+		Delay:         50 * time.Millisecond,
+		DuplicateRate: 0.10,
+		TruncateRate:  0.10,
+		CorruptRate:   0.10,
+	}
+	rep, workerReports, workerErrs, err := runChaosRound(t, o)
+	if err == nil {
+		assertRoundInvariants(t, rep, o.quorum)
+	} else {
+		assertTypedRoundError(t, err)
+	}
+	// Worker failures under chaos are expected, but a worker reporting
+	// success must have a coherent record: winners were paid the
+	// clearing price, losers were paid nothing.
+	for i, werr := range workerErrs {
+		if werr != nil {
+			continue
+		}
+		wr := workerReports[i]
+		if !wr.Won && wr.Payment != 0 {
+			t.Errorf("losing worker %d reports payment %v", i, wr.Payment)
+		}
+		if wr.Won && wr.Payment != 0 && wr.Payment != wr.ClearingPrice {
+			t.Errorf("winner %d paid %v at clearing price %v", i, wr.Payment, wr.ClearingPrice)
+		}
+	}
+}
+
+// TestChaosAccountantDebitedOncePerCompletedRound runs a mildly faulty
+// round with an accountant: a completed round debits exactly epsilon;
+// a subsequently degraded round (impossible quorum) debits nothing.
+func TestChaosAccountantDebitedOncePerCompletedRound(t *testing.T) {
+	acct, err := mechanism.NewAccountant(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := defaultChaosOpts(21, 12)
+	o.plan.DropRate = 0.10
+	o.plan.DelayRate = 0.05
+	o.accountant = acct
+
+	rep, _, _, err := runChaosRound(t, o)
+	if err != nil {
+		assertTypedRoundError(t, err)
+		if acct.Spent() != 0 {
+			t.Fatalf("degraded round debited %v", acct.Spent())
+		}
+		t.Skip("seed degraded the round; debit-on-complete not exercisable")
+	}
+	assertRoundInvariants(t, rep, o.quorum)
+	if got := acct.Spent(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("completed round debited %v, want exactly epsilon=0.5", got)
+	}
+
+	// Now demand an impossible quorum: the round must degrade with the
+	// typed quorum error and leave the ledger untouched.
+	o2 := defaultChaosOpts(22, 4)
+	o2.quorum = 40
+	o2.window = 800 * time.Millisecond
+	o2.accountant = acct
+	_, _, _, err = runChaosRound(t, o2)
+	if !errors.Is(err, ErrQuorumNotMet) && !errors.Is(err, ErrNoBids) {
+		t.Fatalf("want quorum failure, got %v", err)
+	}
+	if got := acct.Spent(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("degraded round changed the ledger: spent %v, want 0.5", got)
+	}
+}
+
+// TestChaosWinnerEvictionDoesNotFailRound: a winner that vanishes after
+// the outcome notification is evicted; the round still completes and
+// aggregates the remaining winners' labels.
+func TestChaosWinnerEvictionDoesNotFailRound(t *testing.T) {
+	o := defaultChaosOpts(5, 0) // platform config only; workers run by hand
+	o.numWorkers = 5
+	o.quorum = 3
+	o.window = time.Second
+	o.plan = faultnet.Plan{Seed: 5} // no transport faults: the fault is behavioral
+	cfg := chaosPlatformConfig(o)
+	// Deep thresholds so several winners are needed: delta=0.3 demands
+	// Q = 2·ln(1/0.3) ≈ 2.41 of coverage, i.e. 4 workers at quality
+	// (2·0.9-1)² = 0.64 each.
+	for j := range cfg.Thresholds {
+		cfg.Thresholds[j] = 0.3
+	}
+	cfg.IOTimeout = 500 * time.Millisecond
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	type result struct {
+		report RoundReport
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rep, err := platform.RunRound(ctx, ln)
+		resCh <- result{rep, err}
+	}()
+
+	bundle := []int{0, 1, 2, 3, 4, 5}
+	var wg sync.WaitGroup
+	// Four honest workers at moderate cost.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = Participate(ctx, ln.Addr().String(), WorkerConfig{
+				ID:     fmt.Sprintf("honest-%d", i),
+				Bundle: bundle,
+				Cost:   8 + float64(i),
+				Labels: func(int) crowd.Label { return crowd.Positive },
+				// Generous: the outcome only arrives once the window closes.
+				IOTimeout: 5 * time.Second,
+			})
+		}(i)
+	}
+	// One crasher at the cheapest possible cost (all but guaranteed to
+	// win) that disconnects the moment it learns it won.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		raw, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Errorf("crasher dial: %v", err)
+			return
+		}
+		conn := NewConn(raw, 5*time.Second)
+		defer conn.Close()
+		if err := conn.Send(Message{Type: TypeHello, WorkerID: "crasher"}); err != nil {
+			t.Errorf("crasher hello: %v", err)
+			return
+		}
+		if _, err := conn.Expect(TypeAnnounce); err != nil {
+			t.Errorf("crasher announce: %v", err)
+			return
+		}
+		if err := conn.Send(Message{Type: TypeBid, WorkerID: "crasher", Bundle: bundle, Price: 5}); err != nil {
+			t.Errorf("crasher bid: %v", err)
+			return
+		}
+		m, err := conn.Expect(TypeOutcome)
+		if err != nil || !m.Won {
+			return // lost or errored: nothing to crash out of
+		}
+		// Vanish without delivering labels.
+		_ = conn.Close()
+	}()
+
+	res := <-resCh
+	wg.Wait()
+	if res.err != nil {
+		t.Fatalf("round must tolerate a crashing winner, got %v", res.err)
+	}
+	assertRoundInvariants(t, res.report, o.quorum)
+	crasherWon := false
+	for _, w := range res.report.Outcome.Winners {
+		if res.report.WorkerIDs[w] == "crasher" {
+			crasherWon = true
+		}
+	}
+	if crasherWon && res.report.Faults.WinnersEvicted+res.report.Faults.WinnersUnreachable == 0 {
+		t.Error("crashing winner was neither evicted nor counted unreachable")
+	}
+	if crasherWon && res.report.ReportsReceived == 0 {
+		t.Error("no labels aggregated from the surviving winners")
+	}
+}
+
+// flakyDialer fails the first failures dials outright, then delegates.
+type flakyDialer struct {
+	mu       sync.Mutex
+	failures int
+	dials    int
+}
+
+func (d *flakyDialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	d.mu.Lock()
+	d.dials++
+	fail := d.dials <= d.failures
+	d.mu.Unlock()
+	if fail {
+		return nil, errors.New("flaky: connection refused")
+	}
+	var nd net.Dialer
+	return nd.DialContext(ctx, network, address)
+}
+
+// TestChaosRetryRecoversFromDialFailures: with retry enabled a worker
+// rides out dial-time failures; without it the same worker fails.
+func TestChaosRetryRecoversFromDialFailures(t *testing.T) {
+	o := defaultChaosOpts(31, 0)
+	o.window = 2 * time.Second
+	o.quorum = 1
+	cfg := chaosPlatformConfig(o)
+	cfg.MinWorkers = 1
+	cfg.IOTimeout = time.Second
+	// One bidder must be able to carry the round alone: a single
+	// theta=0.95 worker contributes (2·0.95-1)² = 0.81 of coverage, so
+	// delta must satisfy 2·ln(1/delta) <= 0.81, i.e. delta >= 0.67.
+	for j := range cfg.Thresholds {
+		cfg.Thresholds[j] = 0.7
+	}
+	cfg.Skills = func(string, int) []float64 {
+		return []float64{0.95, 0.95, 0.95, 0.95, 0.95, 0.95}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := platform.RunRound(ctx, ln)
+		done <- err
+	}()
+
+	report, err := Participate(ctx, ln.Addr().String(), WorkerConfig{
+		ID:        "phoenix",
+		Bundle:    []int{0, 1, 2, 3, 4, 5},
+		Cost:      8,
+		Labels:    func(int) crowd.Label { return crowd.Positive },
+		IOTimeout: time.Second,
+		Dialer:    &flakyDialer{failures: 2},
+		Retry:     RetryPolicy{MaxAttempts: 4, BaseBackoff: 50 * time.Millisecond, Jitter: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("retrying worker failed: %v", err)
+	}
+	if report.Attempts != 3 {
+		t.Errorf("succeeded on attempt %d, want 3 (two dial failures)", report.Attempts)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("platform round: %v", err)
+	}
+
+	// Without retry the same dialer sinks the worker immediately.
+	if _, err := Participate(ctx, "127.0.0.1:1", WorkerConfig{
+		ID:     "one-shot",
+		Bundle: []int{0},
+		Cost:   8,
+		Labels: func(int) crowd.Label { return crowd.Positive },
+		Dialer: &flakyDialer{failures: 2},
+	}); err == nil {
+		t.Error("single-attempt worker should fail on a refused dial")
+	}
+}
+
+// TestChaosCampaignTotalsProperty (property test): RunCampaignTolerant
+// under injected faults never panics, each failed round is recorded,
+// and the campaign's TotalPayment equals the sum of its per-round
+// reports — for every seed tried.
+func TestChaosCampaignTotalsProperty(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const (
+				rounds     = 3
+				numWorkers = 10
+				numTasks   = 5
+			)
+			o := defaultChaosOpts(seed, numWorkers)
+			o.numTasks = numTasks
+			o.window = 1200 * time.Millisecond
+			o.quorum = 3
+			cfg := chaosPlatformConfig(o)
+			cfg.MinWorkers = numWorkers // close early when everyone made it
+			inj, err := faultnet.New(o.plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			platform, err := NewPlatform(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+
+			type result struct {
+				campaign CampaignReport
+				err      error
+			}
+			resCh := make(chan result, 1)
+			store := NewSkillStore(0.9)
+			go func() {
+				c, err := platform.RunCampaignTolerant(ctx, ln, rounds, store)
+				resCh <- result{c, err}
+			}()
+
+			for round := 0; round < rounds; round++ {
+				var wg sync.WaitGroup
+				for i := 0; i < numWorkers; i++ {
+					wg.Add(1)
+					go func(i, round int) {
+						defer wg.Done()
+						id := chaosWorkerID(i)
+						bundle := make([]int, numTasks)
+						for j := range bundle {
+							bundle[j] = j
+						}
+						obs := rand.New(rand.NewSource(int64(round*1000 + i)))
+						// Faults make worker failure acceptable here; the
+						// property under test is platform-side accounting.
+						_, _ = Participate(ctx, ln.Addr().String(), WorkerConfig{
+							ID:     id,
+							Bundle: bundle,
+							Cost:   6 + float64(i),
+							Labels: func(int) crowd.Label {
+								if obs.Float64() < 0.9 {
+									return crowd.Positive
+								}
+								return crowd.Negative
+							},
+							IOTimeout:      600 * time.Millisecond,
+							Dialer:         &faultnet.Dialer{Injector: inj, Key: fmt.Sprintf("r%d/%s", round, id)},
+							Retry:          o.retry,
+							AttemptTimeout: 2 * time.Second,
+						})
+					}(i, round)
+				}
+				wg.Wait()
+			}
+
+			res := <-resCh
+			if res.err != nil {
+				t.Fatalf("tolerant campaign aborted: %v", res.err)
+			}
+			c := res.campaign
+			if len(c.Rounds)+c.FailedRounds != rounds {
+				t.Errorf("rounds %d + failed %d != attempted %d", len(c.Rounds), c.FailedRounds, rounds)
+			}
+			if len(c.RoundErrors) != c.FailedRounds {
+				t.Errorf("%d round errors recorded for %d failed rounds", len(c.RoundErrors), c.FailedRounds)
+			}
+			var sum float64
+			for _, rep := range c.Rounds {
+				assertRoundInvariants(t, rep, o.quorum)
+				sum += rep.Outcome.TotalPayment
+			}
+			if math.Abs(sum-c.TotalPayment) > 1e-9 {
+				t.Errorf("campaign total %v != sum of rounds %v", c.TotalPayment, sum)
+			}
+		})
+	}
+}
+
+// TestChaosSmallRoundDeterminism re-runs a compact faulty round and
+// demands byte-identical serialized reports — the cheap regression
+// guard for the determinism contract.
+func TestChaosSmallRoundDeterminism(t *testing.T) {
+	o := defaultChaosOpts(13, 12)
+	o.window = 1500 * time.Millisecond
+	run := func() (string, string) {
+		rep, _, _, err := runChaosRound(t, o)
+		if err != nil {
+			return "", err.Error()
+		}
+		b, merr := json.Marshal(rep)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		return string(b), ""
+	}
+	r1, e1 := run()
+	r2, e2 := run()
+	if r1 != r2 || e1 != e2 {
+		t.Fatalf("seed 13 diverged:\nrun1: %s %s\nrun2: %s %s", r1, e1, r2, e2)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,7 +21,22 @@ var (
 	ErrNoBids       = errors.New("protocol: no valid bids received")
 	ErrBadPlatform  = errors.New("protocol: invalid platform configuration")
 	ErrDuplicateBid = errors.New("protocol: duplicate worker id")
+	// ErrQuorumNotMet reports a round that closed its bid window with
+	// fewer accepted bids than cfg.Quorum requires. The round spent no
+	// privacy budget; the platform may simply run another round.
+	ErrQuorumNotMet = errors.New("protocol: quorum not met")
 )
+
+// IsDegraded reports whether a round error is a graceful degradation —
+// too few bids survived the network, or the surviving bids cannot
+// cover the tasks — as opposed to a hard failure. Degraded rounds
+// never debit the privacy accountant, so a campaign can safely skip
+// them and try again.
+func IsDegraded(err error) bool {
+	return errors.Is(err, ErrNoBids) ||
+		errors.Is(err, ErrQuorumNotMet) ||
+		errors.Is(err, core.ErrInfeasible)
+}
 
 // SkillFunc supplies the platform's historical skill estimate for a
 // worker (Section III-A: theta is maintained by the platform from
@@ -44,13 +60,21 @@ type PlatformConfig struct {
 	// MinWorkers closes the window early once this many bids arrived;
 	// 0 means wait out the whole window.
 	MinWorkers int
+	// Quorum is the minimum number of accepted bids required to run
+	// the auction; a round that closes its window with fewer fails
+	// with ErrQuorumNotMet (ErrNoBids when zero bids arrived) without
+	// spending privacy budget. Values below 1 mean 1.
+	Quorum int
 	// IOTimeout bounds each message exchange; defaults to 10s.
 	IOTimeout time.Duration
 	// Seed roots the mechanism's randomness; 0 derives from the clock.
 	Seed int64
 	// Accountant, when non-nil, meters the platform's cumulative
-	// privacy loss: every round debits Epsilon under basic sequential
-	// composition, and rounds are refused once the budget is spent.
+	// privacy loss under basic sequential composition. The budget is
+	// checked before bids are collected and debited exactly once per
+	// round, at the moment the price draw is committed; rounds that
+	// degrade before that point (no bids, no quorum, infeasible) spend
+	// nothing.
 	Accountant *mechanism.Accountant
 	// Logger receives progress lines; nil disables logging.
 	Logger *log.Logger
@@ -71,24 +95,55 @@ func (c *PlatformConfig) validate() error {
 		return fmt.Errorf("%w: empty price grid", ErrBadPlatform)
 	case c.BidWindow <= 0:
 		return fmt.Errorf("%w: BidWindow=%v", ErrBadPlatform, c.BidWindow)
+	case c.Quorum < 0:
+		return fmt.Errorf("%w: Quorum=%d", ErrBadPlatform, c.Quorum)
 	}
 	return nil
+}
+
+// RoundFaults counts the per-session failures a round tolerated
+// instead of failing. A fully healthy round is the zero value.
+type RoundFaults struct {
+	// HandshakesFailed counts connections that never produced an
+	// accepted bid: timeouts, cut streams, corrupt frames, bad bids.
+	HandshakesFailed int `json:"handshakes_failed"`
+	// DuplicatesRejected counts bids refused because the worker ID had
+	// already bid this round.
+	DuplicatesRejected int `json:"duplicates_rejected"`
+	// WinnersUnreachable counts winners that could not be notified of
+	// the outcome; they are treated as evicted.
+	WinnersUnreachable int `json:"winners_unreachable"`
+	// WinnersEvicted counts winners that failed to deliver labels
+	// within the IO timeout; the round completes without their data.
+	WinnersEvicted int `json:"winners_evicted"`
+	// LosersUnnotified counts losers whose outcome notification failed
+	// (harmless: they time out on their own).
+	LosersUnnotified int `json:"losers_unnotified"`
+}
+
+// Total sums all tolerated faults.
+func (f RoundFaults) Total() int {
+	return f.HandshakesFailed + f.DuplicatesRejected + f.WinnersUnreachable +
+		f.WinnersEvicted + f.LosersUnnotified
 }
 
 // RoundReport summarizes one completed auction round.
 type RoundReport struct {
 	// Bidders is the number of accepted bids.
 	Bidders int
-	// Outcome is the auction result; winner indices refer to the order
-	// bids were accepted (WorkerIDs maps them back to identities).
+	// Outcome is the auction result; winner indices refer to bidders
+	// sorted by worker ID (WorkerIDs maps them back to identities).
 	Outcome core.Outcome
-	// WorkerIDs lists bidders in index order.
+	// WorkerIDs lists bidders in index order (sorted by ID, so the
+	// report is deterministic regardless of connection arrival order).
 	WorkerIDs []string
 	// Aggregated is the platform's label estimate per task after
 	// weighted aggregation of winner reports.
 	Aggregated []crowd.Label
 	// ReportsReceived counts label reports collected from winners.
 	ReportsReceived int
+	// Faults accounts the per-session failures the round survived.
+	Faults RoundFaults
 }
 
 // Platform runs DP-hSRC auction rounds over TCP.
@@ -103,6 +158,9 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	}
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = 10 * time.Second
+	}
+	if cfg.Quorum < 1 {
+		cfg.Quorum = 1
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = time.Now().UnixNano()
@@ -122,6 +180,11 @@ type session struct {
 // the DP-hSRC auction, collects winner labels, aggregates and settles.
 // The listener is not closed; callers own its lifecycle. ctx cancels
 // the round early.
+//
+// The round either completes with at least cfg.Quorum bids or fails
+// with a typed error (ErrNoBids, ErrQuorumNotMet, core.ErrInfeasible,
+// mechanism.ErrBudgetExhausted); individual worker failures downgrade
+// to RoundFaults entries rather than failing the round.
 func (p *Platform) RunRound(ctx context.Context, ln net.Listener) (RoundReport, error) {
 	rep, _, err := p.runRoundCollecting(ctx, ln)
 	return rep, err
@@ -131,14 +194,16 @@ func (p *Platform) RunRound(ctx context.Context, ln net.Listener) (RoundReport, 
 // multi-round campaign feeds to truth discovery.
 func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (RoundReport, []crowd.Report, error) {
 	if p.cfg.Accountant != nil {
-		// Debit before the round runs: a refused round must not even
-		// collect bids, since the price draw it would publish is the
-		// privacy-relevant release.
-		if err := p.cfg.Accountant.Spend(p.cfg.Epsilon); err != nil {
-			return RoundReport{}, nil, err
+		// Refuse up front when the budget cannot cover this round: a
+		// doomed round must not even collect bids. The actual debit
+		// happens later, at the moment the price draw is committed, so
+		// rounds that degrade beforehand spend nothing.
+		if rem := p.cfg.Accountant.Remaining(); rem+1e-12 < p.cfg.Epsilon {
+			return RoundReport{}, nil, fmt.Errorf("%w: remaining %v cannot cover epsilon %v",
+				mechanism.ErrBudgetExhausted, rem, p.cfg.Epsilon)
 		}
 	}
-	sessions, err := p.collectBids(ctx, ln)
+	sessions, faults, err := p.collectBids(ctx, ln)
 	if err != nil {
 		return RoundReport{}, nil, err
 	}
@@ -147,18 +212,35 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 			_ = s.conn.Close()
 		}
 	}()
-	if len(sessions) == 0 {
-		return RoundReport{}, nil, ErrNoBids
+	// Deterministic order: the auction's worker indices follow sorted
+	// IDs, not connection arrival order, so identical surviving bid
+	// sets yield byte-identical reports.
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].workerID < sessions[j].workerID })
+
+	switch {
+	case len(sessions) == 0:
+		return RoundReport{Faults: faults}, nil, ErrNoBids
+	case len(sessions) < p.cfg.Quorum:
+		return RoundReport{Faults: faults}, nil,
+			fmt.Errorf("%w: %d of %d required bids", ErrQuorumNotMet, len(sessions), p.cfg.Quorum)
 	}
-	p.logf("collected %d bids", len(sessions))
+	p.logf("collected %d bids (%d session faults tolerated)", len(sessions), faults.Total())
 
 	inst, err := p.buildInstance(sessions)
 	if err != nil {
-		return RoundReport{}, nil, err
+		return RoundReport{Faults: faults}, nil, err
 	}
 	auction, err := core.New(inst)
 	if err != nil {
-		return RoundReport{}, nil, fmt.Errorf("protocol: building auction: %w", err)
+		return RoundReport{Faults: faults}, nil, fmt.Errorf("protocol: building auction: %w", err)
+	}
+
+	if p.cfg.Accountant != nil {
+		// The price draw below is the privacy-relevant release: debit
+		// exactly once, exactly here.
+		if err := p.cfg.Accountant.Spend(p.cfg.Epsilon); err != nil {
+			return RoundReport{Faults: faults}, nil, err
+		}
 	}
 	outcome := auction.Run(rand.New(rand.NewSource(p.cfg.Seed)))
 	p.logf("clearing price %.2f with %d winners", outcome.Price, len(outcome.Winners))
@@ -181,39 +263,70 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 		if winners[i] {
 			continue
 		}
-		_ = s.conn.Send(Message{Type: TypeOutcome, Won: false})
+		if err := s.conn.Send(Message{Type: TypeOutcome, Won: false}); err != nil {
+			faults.LosersUnnotified++
+			continue
+		}
 		_ = s.conn.Send(Message{Type: TypeDone})
 	}
 
-	// Winners: request labels, collect, settle.
-	var reports []crowd.Report
-	for i, s := range sessions {
+	// Winners: request labels, collect, settle — concurrently, so one
+	// stalled winner costs the round a single IO timeout, not a
+	// serialized wait per straggler. A winner that cannot be reached
+	// or does not deliver within the timeout is evicted; the round
+	// completes with whoever answered. Results are assembled in
+	// session-index order afterwards to keep the report deterministic.
+	perWinner := make([][]crowd.Report, len(sessions))
+	var (
+		wg  sync.WaitGroup
+		fmu sync.Mutex
+	)
+	for i := range sessions {
 		if !winners[i] {
 			continue
 		}
-		if err := s.conn.Send(Message{Type: TypeOutcome, Won: true, ClearingPrice: outcome.Price}); err != nil {
-			p.logf("winner %s dropped before labeling: %v", s.workerID, err)
-			continue
-		}
-		m, err := s.conn.Expect(TypeLabels)
-		if err != nil {
-			p.logf("winner %s failed to deliver labels: %v", s.workerID, err)
-			continue
-		}
-		for _, lr := range m.Reports {
-			if lr.Task < 0 || lr.Task >= p.cfg.NumTasks {
-				continue
+		wg.Add(1)
+		go func(i int, s *session) {
+			defer wg.Done()
+			if err := s.conn.Send(Message{Type: TypeOutcome, Won: true, ClearingPrice: outcome.Price}); err != nil {
+				p.logf("winner %s unreachable at outcome: %v", s.workerID, err)
+				fmu.Lock()
+				faults.WinnersUnreachable++
+				fmu.Unlock()
+				return
 			}
-			reports = append(reports, crowd.Report{Worker: i, Task: lr.Task, Label: crowd.Label(lr.Label)})
-		}
-		_ = s.conn.Send(Message{Type: TypePayment, Amount: outcome.Price})
-		_ = s.conn.Send(Message{Type: TypeDone})
+			m, err := s.conn.Expect(TypeLabels)
+			if err != nil {
+				p.logf("winner %s evicted (no labels): %v", s.workerID, err)
+				fmu.Lock()
+				faults.WinnersEvicted++
+				fmu.Unlock()
+				return
+			}
+			var got []crowd.Report
+			for _, lr := range m.Reports {
+				if lr.Task < 0 || lr.Task >= p.cfg.NumTasks {
+					continue
+				}
+				got = append(got, crowd.Report{Worker: i, Task: lr.Task, Label: crowd.Label(lr.Label)})
+			}
+			perWinner[i] = got
+			_ = s.conn.Send(Message{Type: TypePayment, Amount: outcome.Price})
+			_ = s.conn.Send(Message{Type: TypeDone})
+		}(i, sessions[i])
+	}
+	wg.Wait()
+
+	var reports []crowd.Report
+	for _, rs := range perWinner {
+		reports = append(reports, rs...)
 	}
 	report.ReportsReceived = len(reports)
+	report.Faults = faults
 
 	agg, err := crowd.WeightedAggregate(reports, inst.Skills, inst.NumTasks)
 	if err != nil {
-		return RoundReport{}, nil, fmt.Errorf("protocol: aggregation: %w", err)
+		return RoundReport{Faults: faults}, nil, fmt.Errorf("protocol: aggregation: %w", err)
 	}
 	report.Aggregated = agg
 	return report, reports, nil
@@ -221,14 +334,16 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 
 // collectBids accepts connections and performs the hello/announce/bid
 // handshake until the bid window closes, MinWorkers is reached, or ctx
-// is cancelled.
-func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session, error) {
+// is cancelled. Individual handshake failures are tolerated and
+// tallied, never fatal.
+func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session, RoundFaults, error) {
 	windowCtx, cancel := context.WithTimeout(ctx, p.cfg.BidWindow)
 	defer cancel()
 
 	var (
 		mu       sync.Mutex
 		sessions []*session
+		faults   RoundFaults
 		seen     = make(map[string]bool)
 		wg       sync.WaitGroup
 	)
@@ -250,7 +365,7 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 		case <-windowCtx.Done():
 			wg.Wait()
 			<-acceptDone
-			return sessions, nil
+			return sessions, faults, nil
 		default:
 		}
 		if tl, ok := ln.(*net.TCPListener); ok {
@@ -264,10 +379,11 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 			select {
 			case <-windowCtx.Done():
 				wg.Wait()
-				return sessions, nil
+				<-acceptDone
+				return sessions, faults, nil
 			default:
 			}
-			return nil, fmt.Errorf("protocol: accept: %w", err)
+			return nil, faults, fmt.Errorf("protocol: accept: %w", err)
 		}
 		wg.Add(1)
 		go func() {
@@ -275,11 +391,20 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 			s, err := p.handshake(raw)
 			if err != nil {
 				_ = raw.Close()
+				// Failures after the window closed are not faults: they
+				// are sessions the close itself cut — including the
+				// watchdog's own self-connection poke.
+				if windowCtx.Err() == nil {
+					mu.Lock()
+					faults.HandshakesFailed++
+					mu.Unlock()
+				}
 				return
 			}
 			mu.Lock()
 			defer mu.Unlock()
 			if seen[s.workerID] {
+				faults.DuplicatesRejected++
 				_ = s.conn.SendError(fmt.Errorf("%w: %s", ErrDuplicateBid, s.workerID))
 				_ = s.conn.Close()
 				return

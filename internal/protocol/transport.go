@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// ContextDialer opens the worker's transport connection; *net.Dialer
+// implements it. The seam exists so tests and chaos tooling can hand
+// Participate a fault-carrying factory (see internal/faultnet) without
+// the protocol code knowing anything about the injection.
+type ContextDialer interface {
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// RetryPolicy governs how Participate retries transient transport
+// failures: dial errors, timeouts, truncated or corrupted streams.
+// Permanent failures — a rejected or duplicate bid, a remote protocol
+// error, a bad local configuration — are never retried. The zero value
+// disables retry (a single attempt), preserving the old behavior.
+type RetryPolicy struct {
+	// MaxAttempts caps total connection attempts; values below 1 mean
+	// one attempt.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter wait before the second attempt; it
+	// doubles for every further attempt. Defaults to 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubled wait. Defaults to 2s.
+	MaxBackoff time.Duration
+	// Jitter in [0,1] shrinks each wait by a uniform fraction of up to
+	// itself, decorrelating the retry storm when a whole crowd loses
+	// the platform at once.
+	Jitter float64
+	// Seed roots the jitter stream; 0 derives it from the worker ID so
+	// identical configurations back off identically across runs.
+	Seed int64
+}
+
+// attempts normalizes MaxAttempts.
+func (rp RetryPolicy) attempts() int {
+	if rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+// backoff computes the wait before the given attempt (attempt >= 2).
+func (rp RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	base := rp.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxWait := rp.MaxBackoff
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	d := base << uint(attempt-2)
+	if d > maxWait || d <= 0 { // <= 0 guards shift overflow
+		d = maxWait
+	}
+	if rp.Jitter > 0 {
+		f := rp.Jitter
+		if f > 1 {
+			f = 1
+		}
+		d = time.Duration(float64(d) * (1 - f*rng.Float64()))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// jitterRNG builds the policy's deterministic jitter stream.
+func (rp RetryPolicy) jitterRNG(workerID string) *rand.Rand {
+	seed := rp.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(workerID))
+		seed = int64(h.Sum64())
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// permanentError marks a failure that retrying cannot fix, e.g. an
+// error after the worker's bid has already been accepted (a fresh
+// attempt would only be rejected as a duplicate).
+type permanentError struct{ err error }
+
+func permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// retryable classifies a Participate attempt failure. Transport-level
+// faults are worth a fresh connection; protocol-level verdicts and
+// local misconfiguration are not.
+func retryable(err error) bool {
+	var pe *permanentError
+	switch {
+	case err == nil,
+		errors.As(err, &pe),
+		errors.Is(err, ErrBadWorker),
+		errors.Is(err, ErrRejected),
+		errors.Is(err, ErrRemote):
+		return false
+	}
+	return true
+}

@@ -33,6 +33,15 @@ type WorkerConfig struct {
 	Labels LabelFunc
 	// IOTimeout bounds each message exchange; defaults to 10s.
 	IOTimeout time.Duration
+	// Dialer opens the transport connection; nil uses a plain
+	// net.Dialer. Chaos tests plug a faultnet.Dialer in here.
+	Dialer ContextDialer
+	// Retry governs reconnection after transient transport failures;
+	// the zero value keeps the historical single-attempt behavior.
+	Retry RetryPolicy
+	// AttemptTimeout bounds one whole attempt, dial through settlement;
+	// 0 leaves only IOTimeout and the caller's context.
+	AttemptTimeout time.Duration
 }
 
 // validate checks the configuration.
@@ -62,11 +71,22 @@ type WorkerReport struct {
 	Utility float64
 	// LabelsSent counts reports submitted.
 	LabelsSent int
+	// Attempts counts connection attempts, 1 when the first try
+	// succeeded.
+	Attempts int
 }
 
 // Participate connects to the platform at addr, submits a truthful bid,
 // and — if selected — senses the bundle and collects payment. ctx
-// bounds the whole exchange.
+// bounds the whole exchange across every retry.
+//
+// Transient transport failures (dial errors, timeouts, cut or corrupted
+// streams) are retried per cfg.Retry with exponential backoff and
+// jitter; a fresh connection restarts the handshake from hello. If the
+// platform already accepted the bid on a previous attempt, the retry
+// is rejected as a duplicate and surfaces as ErrRejected or ErrRemote —
+// both permanent. Failures after a win are never retried: the bid and
+// labels are already committed on the platform side.
 func Participate(ctx context.Context, addr string, cfg WorkerConfig) (WorkerReport, error) {
 	if err := cfg.validate(); err != nil {
 		return WorkerReport{}, err
@@ -74,9 +94,48 @@ func Participate(ctx context.Context, addr string, cfg WorkerConfig) (WorkerRepo
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = 10 * time.Second
 	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = &net.Dialer{}
+	}
 
-	var d net.Dialer
-	raw, err := d.DialContext(ctx, "tcp", addr)
+	attempts := cfg.Retry.attempts()
+	rng := cfg.Retry.jitterRNG(cfg.ID)
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			wait := cfg.Retry.backoff(attempt, rng)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return WorkerReport{}, fmt.Errorf("protocol: retry aborted: %w", ctx.Err())
+			}
+		}
+		report, err := participateOnce(ctx, addr, cfg)
+		report.Attempts = attempt
+		if err == nil {
+			return report, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryable(err) {
+			return report, err
+		}
+	}
+	return WorkerReport{Attempts: attempts},
+		fmt.Errorf("protocol: participation failed after %d attempts: %w", attempts, lastErr)
+}
+
+// participateOnce runs one full attempt on a fresh connection. Errors
+// after the outcome message are wrapped permanent: by then the
+// platform has committed this worker's bid (and possibly labels), so a
+// reconnect cannot help.
+func participateOnce(ctx context.Context, addr string, cfg WorkerConfig) (WorkerReport, error) {
+	if cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.AttemptTimeout)
+		defer cancel()
+	}
+
+	raw, err := cfg.Dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return WorkerReport{}, fmt.Errorf("protocol: dialing platform: %w", err)
 	}
@@ -137,13 +196,13 @@ func Participate(ctx context.Context, addr string, cfg WorkerConfig) (WorkerRepo
 		labels.Reports = append(labels.Reports, LabelReport{Task: task, Label: int8(cfg.Labels(task))})
 	}
 	if err := conn.Send(labels); err != nil {
-		return report, err
+		return report, permanent(err)
 	}
 	report.LabelsSent = len(labels.Reports)
 
 	payment, err := conn.Expect(TypePayment)
 	if err != nil {
-		return report, err
+		return report, permanent(err)
 	}
 	report.Payment = payment.Amount
 	report.Utility = payment.Amount - cfg.Cost
