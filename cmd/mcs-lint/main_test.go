@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagsBadDir exercises the driver-error exit path.
+func TestRunFlagsBadDir(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "/nonexistent-mcs-lint-dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("run on nonexistent dir: exit %d, want 2; stderr=%s", code, errOut.String())
+	}
+}
+
+// TestRunFindsViolations builds a throwaway module whose import path
+// lands on the internal/core policy row and checks the CLI reports the
+// planted determinism violation with a stable code and exit status 1.
+func TestRunFindsViolations(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/internal/core\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clock.go"), `package core
+
+import "time"
+
+// Stamp reads the wall clock in a deterministic package.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+
+	var out, errOut strings.Builder
+	code := run([]string{"-C", dir, "-q", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout=%s stderr=%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "MCS-DET002") || !strings.Contains(got, "clock.go:6:") {
+		t.Fatalf("diagnostic missing code or position:\n%s", got)
+	}
+}
+
+// TestRunCleanModule checks the zero-diagnostic exit path.
+func TestRunCleanModule(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/internal/core\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clean.go"), `package core
+
+// Double is deterministic and checks nothing suspicious.
+func Double(x int) int { return 2 * x }
+`)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", dir, "-q", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0; stdout=%s stderr=%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected diagnostics on clean module:\n%s", out.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

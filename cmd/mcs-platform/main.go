@@ -84,7 +84,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
+	defer func() { _ = ln.Close() }() // exit path; RunRound already returned
 	log.Printf("platform listening on %s; announcing %d tasks for %v", ln.Addr(), *tasks, *window)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -35,7 +35,7 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	defer ln.Close()
+	defer func() { _ = ln.Close() }() // exit path; the round is already settled
 
 	// Shared simulated world: a hidden ground truth and each worker's
 	// true sensing accuracy. The platform's skill store reflects the

@@ -42,14 +42,18 @@ func run() error {
 		auction.ExpectedPayment())
 
 	// Every winner is paid the clearing price and bid at most that
-	// price, so no winner loses money (individual rationality).
-	worst := 0.0
+	// price, so no winner loses money (individual rationality). The
+	// per-winner surplus is price-minus-bid — a bid-derived value — so
+	// the demo reports the yes/no guarantee instead of printing it:
+	// bids are the epsilon-DP-protected secret and must never reach
+	// stdout (mcs-lint MCS-DPL001).
+	irHolds := true
 	for _, w := range outcome.Winners {
-		if u := outcome.Price - inst.Workers[w].Bid; u > worst {
-			worst = u
+		if inst.Workers[w].Bid > outcome.Price {
+			irHolds = false
 		}
 	}
-	fmt.Printf("largest winner surplus: %.2f\n", worst)
+	fmt.Printf("individual rationality holds for all %d winners: %v\n", len(outcome.Winners), irHolds)
 
 	// Compare with the paper's baseline auction (static quality order).
 	baseline, err := dphsrc.New(inst, dphsrc.WithRule(dphsrc.RuleStatic))

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixtures maps each testdata/src package to the synthetic import path
+// it is analyzed under. The paths are chosen to hit real rows of the
+// default policy table, so the goldens pin the policy wiring as well
+// as the analyzers.
+var fixtures = []struct {
+	name string
+	path string
+}{
+	{"detbad", "fixtures/internal/core/detbad"},
+	{"detgood", "fixtures/internal/core/detgood"},
+	{"leakbad", "fixtures/internal/protocol/leakbad"},
+	{"floatbad", "fixtures/internal/stats/floatbad"},
+	{"errbad", "fixtures/internal/protocol/errbad"},
+	{"allowme", "fixtures/internal/core/allowme"},
+}
+
+// TestFixtureGoldens runs the full suite over each fixture package and
+// compares the formatted diagnostics (paths reduced to basenames)
+// against testdata/golden/<name>.golden. Regenerate with
+// `go test ./internal/analysis -run Golden -update`.
+func TestFixtureGoldens(t *testing.T) {
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			pkg, err := LoadDir(filepath.Join("testdata", "src", fx.name), fx.path)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := Run([]*Package{pkg}, DefaultPolicy())
+			var sb strings.Builder
+			for _, d := range diags {
+				d.Path = filepath.Base(d.Path)
+				fmt.Fprintln(&sb, d.String())
+			}
+			got := sb.String()
+
+			goldenPath := filepath.Join("testdata", "golden", fx.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got != string(wantBytes) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, wantBytes)
+			}
+		})
+	}
+}
+
+// TestLiveRepoViolationFree asserts the repo itself carries zero
+// diagnostics: any regression against the machine-checked invariants
+// fails `go test ./...`, not just the separate lint step.
+func TestLiveRepoViolationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadPatterns(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("go list found no packages")
+	}
+	diags := Run(pkgs, DefaultPolicy())
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+}
+
+func TestPolicyResolve(t *testing.T) {
+	p := DefaultPolicy()
+
+	cases := []struct {
+		pkg     string
+		code    string
+		enabled bool
+	}{
+		{"github.com/dphsrc/dphsrc/internal/core", CodeGlobalRand, true},
+		{"github.com/dphsrc/dphsrc/internal/core", CodeUncheckedClose, false},
+		{"github.com/dphsrc/dphsrc/internal/mechanism", CodeRawExp, false}, // log-space home
+		{"github.com/dphsrc/dphsrc/internal/mechanism", CodeFloatEq, true},
+		{"github.com/dphsrc/dphsrc/internal/protocol", CodeLeakMessage, true},
+		{"github.com/dphsrc/dphsrc/internal/faultnet", CodeUncheckedWrite, true},
+		{"github.com/dphsrc/dphsrc/internal/faultnet", CodeLeakSink, false},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-platform", CodeUncheckedClose, true},
+		{"github.com/dphsrc/dphsrc/examples/quickstart", CodeLeakSink, true},
+		{"github.com/dphsrc/dphsrc/internal/experiment", CodeMapOrder, true},
+		{"github.com/dphsrc/dphsrc/internal/experiment", CodeWallClock, false},
+		{"github.com/dphsrc/dphsrc/internal/plot", CodeFloatEq, false}, // no matching row
+	}
+	for _, c := range cases {
+		if got := p.Resolve(c.pkg).Enabled(c.code); got != c.enabled {
+			t.Errorf("Resolve(%s).Enabled(%s) = %v, want %v", c.pkg, c.code, got, c.enabled)
+		}
+	}
+
+	if !p.Resolve("github.com/dphsrc/dphsrc/internal/protocol").LeakAllowed("participateOnce") {
+		t.Error("participateOnce should be a sanctioned leak path in internal/protocol")
+	}
+	if p.Resolve("github.com/dphsrc/dphsrc/internal/core").LeakAllowed("participateOnce") {
+		t.Error("participateOnce must not be sanctioned outside internal/protocol")
+	}
+}
+
+func TestPolicyTables(t *testing.T) {
+	p := DefaultPolicy()
+	if !p.Sensitive("Worker", "Bid") {
+		t.Error("Worker.Bid must be sensitive")
+	}
+	if p.Sensitive("Worker", "ID") {
+		t.Error("Worker.ID must not be sensitive")
+	}
+	if !p.IsMessageType("Message") {
+		t.Error("Message must be a wire-frame type")
+	}
+	if p.IsMessageType("Outcome") {
+		t.Error("Outcome is not a wire-frame type")
+	}
+}

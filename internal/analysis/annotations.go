@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow annotations.
+//
+// A justified exception is written in the source as
+//
+//	//mcslint:allow CODE reason...
+//
+// and suppresses diagnostics with that code. The reason is mandatory:
+// an annotation without one is itself reported as MCS-LNT001, so every
+// suppression in the tree documents why it is safe.
+//
+// Scope:
+//   - on its own line: covers the next source line;
+//   - trailing a statement: covers that line;
+//   - in a function's doc comment: covers the whole function body
+//     (used for e.g. the ILP solver's wall-clock budget accounting,
+//     where every clock read in the function is deadline bookkeeping).
+const (
+	allowPrefix = "//mcslint:allow"
+	// CodeBadAllow flags a malformed //mcslint:allow annotation
+	// (missing code or missing reason).
+	CodeBadAllow = "MCS-LNT001"
+)
+
+type allowEntry struct {
+	code string
+	// line-scoped entries cover [line, line+1]; span entries cover the
+	// whole [spanStart, spanEnd] line range of a function body.
+	line               int
+	spanStart, spanEnd int
+}
+
+type allowSet struct {
+	// byFile maps a filename to its allow entries.
+	byFile map[string][]allowEntry
+}
+
+func (s *allowSet) allowed(code string, pos token.Position) bool {
+	for _, e := range s.byFile[pos.Filename] {
+		if e.code != code {
+			continue
+		}
+		if e.spanEnd > 0 {
+			if pos.Line >= e.spanStart && pos.Line <= e.spanEnd {
+				return true
+			}
+			continue
+		}
+		if pos.Line == e.line || pos.Line == e.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans every comment in the package for allow
+// annotations, appending MCS-LNT001 diagnostics for malformed ones
+// directly to out (annotation hygiene is always checked, regardless of
+// package policy).
+func collectAllows(fset *token.FileSet, files []*ast.File, out *[]Diagnostic) *allowSet {
+	s := &allowSet{byFile: make(map[string][]allowEntry)}
+	for _, file := range files {
+		// Doc-comment annotations get function-body scope.
+		docSpan := make(map[*ast.Comment][2]int)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			start := fset.Position(fd.Pos()).Line
+			end := fset.Position(fd.Body.End()).Line
+			for _, c := range fd.Doc.List {
+				docSpan[c] = [2]int{start, end}
+			}
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				code, reason, _ := strings.Cut(rest, " ")
+				if code == "" || strings.TrimSpace(reason) == "" {
+					*out = append(*out, Diagnostic{
+						Code: CodeBadAllow,
+						Path: pos.Filename,
+						Line: pos.Line,
+						Col:  pos.Column,
+						Message: "malformed mcslint:allow annotation: " +
+							"want `//mcslint:allow CODE reason`",
+					})
+					continue
+				}
+				e := allowEntry{code: code, line: pos.Line}
+				if span, ok := docSpan[c]; ok {
+					e.spanStart, e.spanEnd = span[0], span[1]
+				}
+				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], e)
+			}
+		}
+	}
+	return s
+}

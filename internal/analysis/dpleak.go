@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DPLeakAnalyzer is a lightweight intra-procedural taint check for the
+// epsilon-DP-protected values (worker bids / true costs; the policy's
+// SensitiveFields table says which fields hold them):
+//
+//   - MCS-DPL001: a sensitive value (or a local assigned from one)
+//     reaches a print/log sink — fmt.Print*/Fprint*/Sprint*, package
+//     log, a *log.Logger method, or a direct os.Stdout/os.Stderr
+//     write. Bids leaked to logs void the mechanism's privacy
+//     guarantee as surely as leaking them on the wire.
+//   - MCS-DPL002: a sensitive value is placed into a wire-message
+//     composite literal (policy MessageTypes) outside the sanctioned
+//     bid-submission / payment-announcement functions
+//     (policy AllowedLeakFuncs).
+//
+// The taint step is one-level and flow-insensitive by design: it
+// follows `x := w.Bid` style assignments to a fixpoint inside a single
+// function, which covers the realistic leak shapes (format a bid,
+// stash it in a temp, print it) without a whole-program dataflow
+// engine. Cross-function flows are out of scope and documented as such
+// in DESIGN.md.
+func DPLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "dp-leak",
+		Codes: []string{CodeLeakSink, CodeLeakMessage},
+		Run:   runDPLeak,
+	}
+}
+
+func runDPLeak(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.leakCheckFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) leakCheckFunc(fd *ast.FuncDecl) {
+	tainted := p.taintedLocals(fd)
+
+	// contains reports whether expr mentions a sensitive selector or a
+	// tainted local.
+	contains := func(expr ast.Expr) bool {
+		found := false
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				if p.sensitiveSelector(node) {
+					found = true
+				}
+			case *ast.Ident:
+				if obj := p.Info.ObjectOf(node); obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sinkName, ok := p.printSink(node); ok {
+				for _, arg := range node.Args {
+					if contains(arg) {
+						p.Reportf(arg.Pos(), CodeLeakSink,
+							"bid/cost value reaches %s; protected values must never be printed or logged", sinkName)
+						break
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			typeName := baseTypeName(p.Info.TypeOf(node))
+			if !p.Policy.IsMessageType(typeName) {
+				return true
+			}
+			if p.Rule.LeakAllowed(fd.Name.Name) {
+				return true
+			}
+			for _, elt := range node.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !p.Policy.Sensitive(typeName, key.Name) {
+					continue
+				}
+				if contains(kv.Value) {
+					p.Reportf(kv.Pos(), CodeLeakMessage,
+						"bid/cost value placed in wire message field %s.%s outside the sanctioned auction path", typeName, key.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sensitiveSelector reports whether sel reads a policy-declared
+// sensitive field (e.g. Worker.Bid, WorkerConfig.Cost, Message.Price).
+func (p *Pass) sensitiveSelector(sel *ast.SelectorExpr) bool {
+	typeName := baseTypeName(p.Info.TypeOf(sel.X))
+	if typeName == "" {
+		return false
+	}
+	return p.Policy.Sensitive(typeName, sel.Sel.Name)
+}
+
+// taintedLocals runs the one-level assignment fixpoint: any local
+// assigned (directly or transitively) from a sensitive selector.
+func (p *Pass) taintedLocals(fd *ast.FuncDecl) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	exprTainted := func(expr ast.Expr) bool {
+		found := false
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				if p.sensitiveSelector(node) {
+					found = true
+				}
+			case *ast.Ident:
+				if obj := p.Info.ObjectOf(node); obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for range 4 { // fixpoint: chains deeper than 4 hops are unrealistic
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(assign.Rhs) {
+					continue
+				}
+				obj := p.Info.ObjectOf(id)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if exprTainted(assign.Rhs[i]) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return tainted
+}
+
+// printSink classifies call as a print/log sink and names it.
+func (p *Pass) printSink(call *ast.CallExpr) (string, bool) {
+	if name, ok := p.pkgFuncCall(call, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println",
+			"Fprint", "Fprintf", "Fprintln",
+			"Sprint", "Sprintf", "Sprintln":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if name, ok := p.pkgFuncCall(call, "log"); ok {
+		return "log." + name, true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// *log.Logger methods.
+	if baseTypeName(p.Info.TypeOf(sel.X)) == "Logger" {
+		return "Logger." + sel.Sel.Name, true
+	}
+	// Direct os.Stdout / os.Stderr writes.
+	if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+		if id, ok := inner.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				if inner.Sel.Name == "Stdout" || inner.Sel.Name == "Stderr" {
+					return "os." + inner.Sel.Name + "." + sel.Sel.Name, true
+				}
+			}
+		}
+	}
+	return "", false
+}

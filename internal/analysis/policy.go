@@ -1,0 +1,190 @@
+package analysis
+
+import "strings"
+
+// Diagnostic codes emitted by the suite. Codes are stable: CI greps
+// them, golden tests pin them, and annotations reference them.
+const (
+	// determinism
+	CodeGlobalRand = "MCS-DET001" // global math/rand state in a deterministic package
+	CodeWallClock  = "MCS-DET002" // wall-clock read in a deterministic package
+	CodeMapOrder   = "MCS-DET003" // map-iteration-order dependent output
+	// dp-leak
+	CodeLeakSink    = "MCS-DPL001" // bid/cost value reaches a print/log sink
+	CodeLeakMessage = "MCS-DPL002" // bid/cost value placed in a wire message outside the sanctioned path
+	// float-safety
+	CodeFloatEq  = "MCS-FLT001" // ==/!= on floating-point operands
+	CodeRawExp   = "MCS-FLT002" // math.Exp of a difference outside the log-space helpers
+	CodeExpAccum = "MCS-FLT003" // accumulating math.Exp terms; use log-sum-exp / max-shift
+	// errcheck-lite
+	CodeUncheckedWrite = "MCS-ERR001" // dropped error from a Write-like call
+	CodeUncheckedClose = "MCS-ERR002" // dropped error from Close
+)
+
+// Rule is one row of the policy table. Match is an import-path
+// fragment: a rule applies to a package when Match, read as a
+// slash-separated path fragment, occurs in the package's import path
+// ("internal/core" matches ".../internal/core"; "cmd" matches any
+// package under cmd/). An empty Match applies to every package.
+// Rules apply in order; Enable turns codes on, Disable turns them back
+// off, so later rows refine earlier ones.
+type Rule struct {
+	Match   string
+	Enable  []string
+	Disable []string
+	// AllowedLeakFuncs names functions in matched packages where
+	// MCS-DPL002 is sanctioned: the bid-submission and
+	// payment-announcement paths that necessarily place protected
+	// values on the wire.
+	AllowedLeakFuncs []string
+}
+
+// Policy is the whole configuration: the rule table plus the
+// domain tables shared by the dp-leak analyzer.
+type Policy struct {
+	Rules []Rule
+	// SensitiveFields maps a named type's base name to the fields on
+	// it that hold epsilon-DP-protected values (bids / true costs).
+	SensitiveFields map[string][]string
+	// MessageTypes lists named types that become wire frames; placing
+	// a sensitive value in one is MCS-DPL002 unless the enclosing
+	// function is in AllowedLeakFuncs for the package.
+	MessageTypes []string
+	// LogSpacePackages are the packages housing the sanctioned
+	// log-space helpers; MCS-FLT002/003 never fire there even if a
+	// broader rule enables them.
+	LogSpacePackages []string
+}
+
+// ResolvedRule is the policy outcome for one package.
+type ResolvedRule struct {
+	enabled          map[string]bool
+	allowedLeakFuncs map[string]bool
+}
+
+// Enabled reports whether the code is active for the package.
+func (r ResolvedRule) Enabled(code string) bool { return r.enabled[code] }
+
+func (r ResolvedRule) anyEnabled(codes []string) bool {
+	for _, c := range codes {
+		if r.enabled[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// LeakAllowed reports whether funcName is a sanctioned leak path.
+func (r ResolvedRule) LeakAllowed(funcName string) bool {
+	return r.allowedLeakFuncs[funcName]
+}
+
+func matchPath(pattern, pkgPath string) bool {
+	if pattern == "" {
+		return true
+	}
+	return strings.Contains("/"+pkgPath+"/", "/"+pattern+"/")
+}
+
+// Resolve folds the rule table for one import path.
+func (p *Policy) Resolve(pkgPath string) ResolvedRule {
+	r := ResolvedRule{
+		enabled:          make(map[string]bool),
+		allowedLeakFuncs: make(map[string]bool),
+	}
+	for _, rule := range p.Rules {
+		if !matchPath(rule.Match, pkgPath) {
+			continue
+		}
+		for _, c := range rule.Enable {
+			r.enabled[c] = true
+		}
+		for _, c := range rule.Disable {
+			delete(r.enabled, c)
+		}
+		for _, f := range rule.AllowedLeakFuncs {
+			r.allowedLeakFuncs[f] = true
+		}
+	}
+	for _, lp := range p.LogSpacePackages {
+		if matchPath(lp, pkgPath) {
+			delete(r.enabled, CodeRawExp)
+			delete(r.enabled, CodeExpAccum)
+		}
+	}
+	return r
+}
+
+// Sensitive reports whether field fieldName on a type named typeName
+// holds a protected value.
+func (p *Policy) Sensitive(typeName, fieldName string) bool {
+	for _, f := range p.SensitiveFields[typeName] {
+		if f == fieldName {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMessageType reports whether a named type becomes a wire frame.
+func (p *Policy) IsMessageType(typeName string) bool {
+	for _, m := range p.MessageTypes {
+		if m == typeName {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultPolicy is the repo's policy table.
+//
+//	package                  det   dp-leak  float      errcheck
+//	internal/core            ✓     DPL001   FLT all    —
+//	internal/mechanism       ✓     DPL001   FLT001*    —          (*home of the log-space helpers)
+//	internal/stats           ✓     —        FLT all    —
+//	internal/lp              ✓     —        FLT all    —
+//	internal/ilp             ✓     —        FLT all    —
+//	internal/crowd           —     —        FLT all    —
+//	internal/privacy         —     DPL001   FLT all    —
+//	internal/experiment      DET003 —       FLT001     —          (report emission must be order-stable)
+//	internal/protocol        —     ✓        FLT001     ✓
+//	internal/faultnet        —     —        —          ✓
+//	cmd/*, examples/*        —     DPL001   —          ✓
+func DefaultPolicy() *Policy {
+	det := []string{CodeGlobalRand, CodeWallClock, CodeMapOrder}
+	floats := []string{CodeFloatEq, CodeRawExp, CodeExpAccum}
+	errs := []string{CodeUncheckedWrite, CodeUncheckedClose}
+	return &Policy{
+		Rules: []Rule{
+			{Match: "internal/core", Enable: append(append([]string{CodeLeakSink}, det...), floats...)},
+			{Match: "internal/mechanism", Enable: append(append([]string{CodeLeakSink}, det...), floats...)},
+			{Match: "internal/stats", Enable: append(append([]string{}, det...), floats...)},
+			{Match: "internal/lp", Enable: append(append([]string{}, det...), floats...)},
+			{Match: "internal/ilp", Enable: append(append([]string{}, det...), floats...)},
+			{Match: "internal/crowd", Enable: floats},
+			{Match: "internal/privacy", Enable: append([]string{CodeLeakSink}, floats...)},
+			{Match: "internal/experiment", Enable: []string{CodeMapOrder, CodeFloatEq}},
+			{
+				Match:  "internal/protocol",
+				Enable: append([]string{CodeLeakSink, CodeLeakMessage, CodeFloatEq}, errs...),
+				// participateOnce is the worker's sealed-bid submission:
+				// the one place the bid legitimately enters a wire frame.
+				AllowedLeakFuncs: []string{"participateOnce"},
+			},
+			{Match: "internal/faultnet", Enable: errs},
+			{Match: "cmd", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
+			{Match: "examples", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
+		},
+		SensitiveFields: map[string][]string{
+			// core.Worker.Bid is rho_i, the epsilon-DP-protected ask.
+			"Worker": {"Bid"},
+			// protocol.WorkerConfig.Cost is the client's true cost,
+			// which it bids truthfully.
+			"WorkerConfig": {"Cost"},
+			// protocol.Message.Price carries the sealed bid on the wire.
+			"Message": {"Price"},
+		},
+		MessageTypes:     []string{"Message"},
+		LogSpacePackages: []string{"internal/mechanism"},
+	}
+}

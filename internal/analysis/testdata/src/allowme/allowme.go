@@ -1,0 +1,25 @@
+// Package allowme exercises the //mcslint:allow machinery: function
+// scope, line scope, and the mandatory-reason rule.
+package allowme
+
+import "time"
+
+// Budget is deadline accounting; the function-scope annotation in this
+// doc comment covers every clock read in the body.
+//
+//mcslint:allow MCS-DET002 deadline accounting for the caller-requested budget
+func Budget(deadline time.Time) bool {
+	return time.Now().After(deadline)
+}
+
+// Elapsed uses a line-scope annotation trailing the statement.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) //mcslint:allow MCS-DET002 benchmark bookkeeping, not mechanism state
+}
+
+// Naked has an annotation without a reason: the annotation itself is
+// diagnosed and does not suppress anything.
+func Naked() int64 {
+	//mcslint:allow MCS-DET002
+	return time.Now().UnixNano() // want MCS-DET002 (annotation malformed -> MCS-LNT001 too)
+}

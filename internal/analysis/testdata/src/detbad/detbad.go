@@ -1,0 +1,42 @@
+// Package detbad violates every determinism invariant mcs-lint
+// guards; the golden test pins one diagnostic per violation.
+package detbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PickWinner samples from the process-global RNG: two runs with the
+// same seed elsewhere still disagree here.
+func PickWinner(n int) int {
+	return rand.Intn(n) // want MCS-DET001
+}
+
+// Jitter touches a second global helper.
+func Jitter() float64 {
+	return rand.Float64() // want MCS-DET001
+}
+
+// Stamp reads the wall clock in a deterministic package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want MCS-DET002
+}
+
+// Report accumulates map entries in iteration order and returns them:
+// the report differs run to run.
+func Report(counts map[string]int) []string {
+	var out []string
+	for k, v := range counts { // want MCS-DET003
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Dump prints in map iteration order.
+func Dump(counts map[string]int) {
+	for k, v := range counts { // want MCS-DET003
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,34 @@
+// Package detgood is the clean counterpart of detbad: seeded injected
+// randomness and sorted map traversal. Its golden file is empty.
+package detgood
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PickWinner draws from an injected, seeded source.
+func PickWinner(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+// NewRun builds a seeded generator: constructors are fine, only the
+// global helpers are not.
+func NewRun(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Report emits counts in sorted key order; the collect-then-sort idiom
+// is recognized and not flagged.
+func Report(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package errbad drops I/O errors on the floor in every way
+// errcheck-lite recognizes.
+package errbad
+
+import "net"
+
+// Flush drops the write error and defers an unchecked close.
+func Flush(c net.Conn, frame []byte) {
+	defer c.Close() // want MCS-ERR002
+	c.Write(frame)  // want MCS-ERR001
+}
+
+// Background fires a write on a goroutine, discarding the error with
+// no record that anyone decided to.
+func Background(c net.Conn, frame []byte) {
+	go c.Write(frame) // want MCS-ERR001
+}
+
+// Shutdown acknowledges both errors explicitly: accepted.
+func Shutdown(c net.Conn, frame []byte) error {
+	if _, err := c.Write(frame); err != nil {
+		return err
+	}
+	_ = c.Close()
+	return nil
+}

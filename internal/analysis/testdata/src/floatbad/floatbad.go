@@ -1,0 +1,37 @@
+// Package floatbad breaks the numeric discipline the exponential
+// mechanism depends on.
+package floatbad
+
+import "math"
+
+// Same compares two measured values exactly.
+func Same(a, b float64) bool {
+	return a == b // want MCS-FLT001
+}
+
+// Drifted compares against an inexact constant: 0.3 has no exact
+// float64 representation, so the comparison is rounding-dependent.
+func Drifted(x float64) bool {
+	return x != 0.3 // want MCS-FLT001
+}
+
+// Guard compares against exactly representable constants — the
+// sanctioned sentinel idiom, not flagged.
+func Guard(x float64) bool {
+	return x == 0 || x != 1
+}
+
+// Weight exponentiates a score difference directly; beyond a gap of
+// ~709 this over/underflows where the max-shift helpers would not.
+func Weight(score, best float64) float64 {
+	return math.Exp(score - best) // want MCS-FLT002
+}
+
+// Normalizer accumulates raw exponentials, losing the small terms.
+func Normalizer(scores []float64) float64 {
+	sum := 0.0
+	for _, s := range scores {
+		sum += math.Exp(s) // want MCS-FLT003
+	}
+	return sum
+}

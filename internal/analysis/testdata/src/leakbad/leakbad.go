@@ -1,0 +1,53 @@
+// Package leakbad leaks epsilon-DP-protected bid values into logs and
+// wire frames; field sensitivity comes from the policy table (Worker.
+// Bid, Message.Price), matched by type base name so the fixture is
+// self-contained.
+package leakbad
+
+import (
+	"fmt"
+	"log"
+)
+
+// Worker mirrors the auction's bid carrier.
+type Worker struct {
+	ID  string
+	Bid float64
+}
+
+// Message mirrors the wire envelope.
+type Message struct {
+	Type  string
+	Price float64
+}
+
+// LogBid leaks the protected bid straight into the process log.
+func LogBid(w Worker) {
+	log.Printf("worker %s bid %.2f", w.ID, w.Bid) // want MCS-DPL001
+}
+
+// Stash copies the bid through a local first; the one-level taint
+// step follows the assignment.
+func Stash(w Worker) {
+	b := w.Bid
+	fmt.Println("bid:", b) // want MCS-DPL001
+}
+
+// Frame places the bid in a wire message outside the sanctioned
+// auction path.
+func Frame(w Worker) Message {
+	return Message{Type: "debug", Price: w.Bid} // want MCS-DPL002
+}
+
+// participateOnce is the sanctioned sealed-bid submission path
+// (policy AllowedLeakFuncs): constructing the bid frame here is the
+// whole point of the protocol.
+func participateOnce(w Worker) Message {
+	return Message{Type: "bid", Price: w.Bid}
+}
+
+// Announce carries no protected fields; plain frames are fine
+// anywhere.
+func Announce() Message {
+	return Message{Type: "announce"}
+}

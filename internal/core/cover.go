@@ -138,6 +138,7 @@ type gainHeap []gainItem
 
 func (h gainHeap) Len() int { return len(h) }
 func (h gainHeap) Less(a, b int) bool {
+	//mcslint:allow MCS-FLT001 comparator tie-break: a tolerance here would break strict weak ordering; exact inequality deterministically falls through to rank
 	if h[a].gain != h[b].gain {
 		return h[a].gain > h[b].gain
 	}
@@ -251,6 +252,7 @@ func (cp *coverProblem) greedyCoverNaive(candidates []int) ([]int, bool) {
 func (cp *coverProblem) staticCover(candidates []int) ([]int, bool) {
 	order := append([]int(nil), candidates...)
 	sort.SliceStable(order, func(a, b int) bool {
+		//mcslint:allow MCS-FLT001 comparator tie-break: exact inequality keeps the order a strict weak ordering and falls through to index
 		if cp.totalQual[order[a]] != cp.totalQual[order[b]] {
 			return cp.totalQual[order[a]] > cp.totalQual[order[b]]
 		}

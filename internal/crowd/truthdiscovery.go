@@ -150,8 +150,8 @@ func EstimateSkills(reports []Report, numWorkers, numTasks int, opts EMOptions) 
 			}
 			// Normalize with the log-sum-exp shift.
 			m := math.Max(logPos, logNeg)
-			pPos := math.Exp(logPos - m)
-			pNeg := math.Exp(logNeg - m)
+			pPos := math.Exp(logPos - m) //mcslint:allow MCS-FLT002 max-shift softmax: exponent is <= 0 by construction, cannot overflow
+			pNeg := math.Exp(logNeg - m) //mcslint:allow MCS-FLT002 max-shift softmax: exponent is <= 0 by construction, cannot overflow
 			post[j] = pPos / (pPos + pNeg)
 		}
 

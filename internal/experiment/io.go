@@ -65,15 +65,21 @@ func WriteTable2(dir string, t Table2Result) ([]string, error) {
 	}
 	written = append(written, txtPath)
 
-	for name, tbl := range map[string]plot.Table{
-		"table2_setting1.csv": tblI,
-		"table2_setting2.csv": tblII,
+	// Fixed emission order: iterating a map here would make the
+	// returned file list (and any downstream log of it) differ run to
+	// run (mcs-lint MCS-DET003).
+	for _, out := range []struct {
+		name string
+		tbl  plot.Table
+	}{
+		{"table2_setting1.csv", tblI},
+		{"table2_setting2.csv", tblII},
 	} {
 		var sb strings.Builder
-		if err := tbl.WriteCSV(&sb); err != nil {
+		if err := out.tbl.WriteCSV(&sb); err != nil {
 			return nil, err
 		}
-		p := filepath.Join(dir, name)
+		p := filepath.Join(dir, out.name)
 		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
 			return nil, err
 		}
@@ -89,15 +95,19 @@ func WriteFigure5(dir string, f Figure5Result) ([]string, error) {
 	}
 	var written []string
 	payment, leakage := f.Charts()
-	for name, chart := range map[string]plot.Chart{
-		"fig5_payment.svg": payment,
-		"fig5_leakage.svg": leakage,
+	// Fixed emission order, not map order (mcs-lint MCS-DET003).
+	for _, out := range []struct {
+		name  string
+		chart plot.Chart
+	}{
+		{"fig5_payment.svg", payment},
+		{"fig5_leakage.svg", leakage},
 	} {
-		svg, err := chart.SVG()
+		svg, err := out.chart.SVG()
 		if err != nil {
 			return nil, err
 		}
-		p := filepath.Join(dir, name)
+		p := filepath.Join(dir, out.name)
 		if err := os.WriteFile(p, []byte(svg), 0o644); err != nil {
 			return nil, err
 		}

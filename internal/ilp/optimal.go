@@ -45,6 +45,8 @@ type OptimalResult struct {
 // greedy upper bound and an LP lower bound prune solves that cannot
 // beat the incumbent. opts bounds the effort of each individual exact
 // solve.
+//
+//mcslint:allow MCS-DET002 wall-clock reads implement the prescreen/total time budgets and Elapsed accounting; the exact baseline is explicitly budgeted, not seed-deterministic
 func Optimal(inst core.Instance, opts Options) (OptimalResult, error) {
 	if err := inst.Validate(); err != nil {
 		return OptimalResult{}, err

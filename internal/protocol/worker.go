@@ -140,7 +140,9 @@ func participateOnce(ctx context.Context, addr string, cfg WorkerConfig) (Worker
 		return WorkerReport{}, fmt.Errorf("protocol: dialing platform: %w", err)
 	}
 	conn := NewConn(raw, cfg.IOTimeout)
-	defer conn.Close()
+	// Explicit discard: by this point the exchange is over (or failed)
+	// and the ctx watchdog below may already have closed the conn.
+	defer func() { _ = conn.Close() }()
 
 	// Cancel-aware teardown: close the conn if ctx dies mid-exchange so
 	// blocked reads return promptly.
