@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke
+.PHONY: all build vet lint test race fuzz-smoke bench
 
 all: build vet lint test
 
@@ -25,6 +25,12 @@ test:
 	$(GO) test -race ./...
 
 race: test
+
+# Micro-benchmarks for the auction core and the telemetry overhead
+# pair, regenerating the committed BENCH_core.json so perf changes show
+# up in diffs. Human-readable lines go to stderr.
+bench:
+	$(GO) run ./cmd/mcs-bench -out BENCH_core.json > /dev/null
 
 # Short fuzzing passes over the wire-format and instance-validation
 # targets, seeded from the on-disk corpora under testdata/fuzz/.

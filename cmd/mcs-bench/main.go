@@ -1,0 +1,169 @@
+// Command mcs-bench runs the repository's representative
+// micro-benchmarks programmatically (testing.Benchmark) and emits the
+// results as machine-readable JSON, so performance changes live in
+// reviewable diffs (BENCH_core.json) instead of terminal scrollback.
+//
+// Usage:
+//
+//	mcs-bench                      # print JSON to stdout
+//	mcs-bench -out BENCH_core.json # also write the file `make bench` commits
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/dphsrc/dphsrc"
+)
+
+type benchResult struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Workers    int           `json:"workers"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mcs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mcs-bench", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "", "also write the JSON results to this file")
+		workers = fs.Int("workers", 100, "workers in the benchmark instance (Table I Setting I)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := dphsrc.SettingI(*workers).Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+	auction, err := dphsrc.New(inst)
+	if err != nil {
+		return err
+	}
+
+	// The nop-vs-live pair quantifies what instrumented hot paths pay:
+	// the nop side must show allocs_per_op == 0 (the telemetry package's
+	// contract, also asserted by its tests).
+	var nopReg *dphsrc.TelemetryRegistry
+	liveReg := dphsrc.NewTelemetryRegistry()
+	nopCounter := nopReg.Counter("mcs_bench_ops_total", "")
+	liveCounter := liveReg.Counter("mcs_bench_ops_total", "Benchmark ops.")
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"AuctionNew", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.New(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"AuctionNewInstrumented", func(b *testing.B) {
+			reg := dphsrc.NewTelemetryRegistry()
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.New(inst, dphsrc.WithTelemetry(reg)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"AuctionRun", func(b *testing.B) {
+			r := rand.New(rand.NewSource(2))
+			for i := 0; i < b.N; i++ {
+				auction.Run(r)
+			}
+		}},
+		{"TelemetryCounterIncNop", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nopCounter.Inc()
+			}
+		}},
+		{"TelemetryCounterIncLive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				liveCounter.Inc()
+			}
+		}},
+		{"TelemetryTimedSectionNop", func(b *testing.B) {
+			h := nopReg.Histogram("mcs_bench_seconds", "", nil)
+			for i := 0; i < b.N; i++ {
+				start := nopReg.Now()
+				h.Observe(nopReg.Since(start))
+			}
+		}},
+		{"TelemetryTimedSectionLive", func(b *testing.B) {
+			h := liveReg.Histogram("mcs_bench_seconds", "Benchmark sections.", nil)
+			for i := 0; i < b.N; i++ {
+				start := liveReg.Now()
+				h.Observe(liveReg.Since(start))
+			}
+		}},
+	}
+
+	file := benchFile{
+		Schema:  "mcs-bench/v1",
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Workers: *workers,
+	}
+	for _, bench := range benches {
+		fn := bench.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		file.Benchmarks = append(file.Benchmarks, benchResult{
+			Name:        bench.name,
+			N:           r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %8d B/op %6d allocs/op\n",
+			bench.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		return err
+	}
+	if *out == "" {
+		return nil
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	fenc := json.NewEncoder(f)
+	fenc.SetIndent("", "  ")
+	if err := fenc.Encode(file); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

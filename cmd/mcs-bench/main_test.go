@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunWritesParseableJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark pass in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	// 60 is the smallest Setting-I population that stays feasible
+	// (fewer workers cannot cover the 30 tasks' error thresholds).
+	if err := run([]string{"-workers", "60", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file benchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if file.Schema != "mcs-bench/v1" {
+		t.Errorf("schema %q", file.Schema)
+	}
+	byName := make(map[string]benchResult)
+	for _, b := range file.Benchmarks {
+		if b.N <= 0 || b.NsPerOp < 0 {
+			t.Errorf("%s: implausible result %+v", b.Name, b)
+		}
+		byName[b.Name] = b
+	}
+	// The telemetry contract, end to end: the nop side of each pair
+	// allocates nothing.
+	for _, name := range []string{"TelemetryCounterIncNop", "TelemetryTimedSectionNop"} {
+		b, ok := byName[name]
+		if !ok {
+			t.Fatalf("benchmark %s missing from output", name)
+		}
+		if b.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d per op, want 0", name, b.AllocsPerOp)
+		}
+	}
+	if _, ok := byName["AuctionNewInstrumented"]; !ok {
+		t.Error("instrumented auction benchmark missing")
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -51,9 +53,30 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 0, "mechanism seed (0 = from clock)")
 		skillLo    = fs.Float64("skill-lo", 0.75, "lower bound of simulated historical skills")
 		skillHi    = fs.Float64("skill-hi", 0.95, "upper bound of simulated historical skills")
+		metricsAdr = fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address (empty = disabled)")
+		traceOut   = fs.String("trace-out", "", "write the round's span tree as JSON to this file (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var (
+		reg    *dphsrc.TelemetryRegistry
+		tracer *dphsrc.TelemetryTracer
+	)
+	if *metricsAdr != "" {
+		reg = dphsrc.NewTelemetryRegistry()
+		_, closeSrv, err := startTelemetryServer(*metricsAdr, reg)
+		if err != nil {
+			return err
+		}
+		defer closeSrv()
+	}
+	if *traceOut != "" {
+		if reg == nil {
+			reg = dphsrc.NewTelemetryRegistry()
+		}
+		tracer = dphsrc.NewTelemetryTracer()
 	}
 
 	thresholds := make([]float64, *tasks)
@@ -74,6 +97,8 @@ func run(args []string) error {
 		IOTimeout:  *ioTimeout,
 		Seed:       *seed,
 		Logger:     log.New(os.Stderr, "platform ", log.LstdFlags),
+		Telemetry:  reg,
+		Tracer:     tracer,
 	}
 	platform, err := dphsrc.NewPlatform(cfg)
 	if err != nil {
@@ -89,6 +114,15 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *traceOut != "" {
+		// Export whatever spans the round produced, even when it fails.
+		defer func() {
+			if err := writeTrace(*traceOut, tracer); err != nil {
+				log.Printf("writing trace: %v", err)
+			}
+		}()
+	}
 
 	report, err := platform.RunRound(ctx, ln)
 	if err != nil {
@@ -106,6 +140,51 @@ func run(args []string) error {
 		"worker_ids":       report.WorkerIDs,
 		"faults":           report.Faults,
 	})
+}
+
+// startTelemetryServer serves the registry's Prometheus text exposition
+// at /metrics and the standard pprof profiles under /debug/pprof/ on
+// addr. It listens synchronously so a bad address fails the command
+// instead of dying inside a background goroutine; the returned func
+// shuts the server down.
+func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry) (string, func(), error) {
+	tln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("metrics scrape: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(tln); err != nil && err != http.ErrServerClosed {
+			log.Printf("telemetry server: %v", err)
+		}
+	}()
+	log.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)", tln.Addr())
+	return tln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// writeTrace exports the tracer's span tree as indented JSON to path.
+func writeTrace(path string, tracer *dphsrc.TelemetryTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // hashedSkills derives a deterministic per-worker skill row from the

@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dphsrc/dphsrc"
+)
 
 func TestHashedSkillsDeterministicPerWorker(t *testing.T) {
 	f := hashedSkills(0.7, 0.95)
@@ -36,4 +46,67 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "256.0.0.1:99999"}); err == nil {
 		t.Error("bad address accepted")
 	}
+	if err := run([]string{"-metrics-addr", "256.0.0.1:99999", "-window", "1ms"}); err == nil {
+		t.Error("bad metrics address accepted")
+	}
+}
+
+func TestTelemetryServerServesMetricsAndPprof(t *testing.T) {
+	reg := dphsrc.NewTelemetryRegistry()
+	reg.Counter("mcs_smoke_total", "Smoke counter.").Add(3)
+	addr, closeSrv, err := startTelemetryServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeSrv()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	body := httpGet(t, client, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "mcs_smoke_total 3") {
+		t.Errorf("metrics exposition missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE mcs_smoke_total counter") {
+		t.Errorf("metrics exposition missing TYPE line:\n%s", body)
+	}
+	if body := httpGet(t, client, "http://"+addr+"/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline endpoint returned nothing")
+	}
+}
+
+func TestWriteTraceProducesJSON(t *testing.T) {
+	tracer := dphsrc.NewTelemetryTracer()
+	sp := tracer.StartSpan("round")
+	sp.StartChild("collect-bids").End()
+	sp.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTrace(path, tracer); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"round"`, `"collect-bids"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("trace file missing %s:\n%s", want, raw)
+		}
+	}
+}
+
+func httpGet(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return string(raw)
 }

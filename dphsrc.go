@@ -44,6 +44,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/privacy"
 	"github.com/dphsrc/dphsrc/internal/protocol"
 	"github.com/dphsrc/dphsrc/internal/stats"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 	"github.com/dphsrc/dphsrc/internal/workload"
 )
 
@@ -93,6 +94,10 @@ func WithPriceSet(p []float64) Option { return core.WithPriceSet(p) }
 // WithParallelism computes winner sets for distinct candidate counts on
 // up to n goroutines; results are identical to the sequential default.
 func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithTelemetry records the auction's construction counters and timings
+// into a telemetry registry; nil disables recording at zero cost.
+func WithTelemetry(reg *TelemetryRegistry) Option { return core.WithTelemetry(reg) }
 
 // PriceGridRange builds the ascending grid {lo, lo+step, ..., <= hi}.
 func PriceGridRange(lo, hi, step float64) []float64 { return core.PriceGridRange(lo, hi, step) }
@@ -393,3 +398,32 @@ var NewAccountant = mechanism.NewAccountant
 // ErrBudgetExhausted reports a refused release after the privacy budget
 // is spent.
 var ErrBudgetExhausted = mechanism.ErrBudgetExhausted
+
+// Observability (internal/telemetry): stdlib-only metrics and tracing
+// for the auction pipeline. All types follow the nil-is-nop convention:
+// a nil registry, tracer or handle is fully usable and records nothing.
+type (
+	// TelemetryRegistry holds named counters, gauges and histograms and
+	// renders them in Prometheus text exposition format.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryTracer records span trees exportable as JSON.
+	TelemetryTracer = telemetry.Tracer
+	// TelemetrySpan is one timed operation in a trace.
+	TelemetrySpan = telemetry.Span
+	// TelemetryClock is the injected time source telemetry reads.
+	TelemetryClock = telemetry.Clock
+	// ManualClock is a hand-advanced TelemetryClock for tests.
+	ManualClock = telemetry.ManualClock
+)
+
+// NewTelemetryRegistry returns an empty live registry.
+var NewTelemetryRegistry = telemetry.NewRegistry
+
+// NewTelemetryTracer returns an empty live tracer.
+var NewTelemetryTracer = telemetry.NewTracer
+
+// TelemetryWallClock is the module's sanctioned wall-clock time source.
+var TelemetryWallClock = telemetry.WallClock
+
+// NewManualClock returns a ManualClock starting at the given instant.
+var NewManualClock = telemetry.NewManualClock

@@ -111,6 +111,14 @@ func TestPolicyResolve(t *testing.T) {
 		{"github.com/dphsrc/dphsrc/internal/experiment", CodeMapOrder, true},
 		{"github.com/dphsrc/dphsrc/internal/experiment", CodeWallClock, false},
 		{"github.com/dphsrc/dphsrc/internal/plot", CodeFloatEq, false}, // no matching row
+		// telemetry: determinism enforced via clock injection, with the
+		// errcheck rules for its exposition writers.
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeWallClock, true},
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeGlobalRand, true},
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeMapOrder, true},
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeUncheckedWrite, true},
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeFloatEq, true},
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeLeakSink, false},
 	}
 	for _, c := range cases {
 		if got := p.Resolve(c.pkg).Enabled(c.code); got != c.enabled {

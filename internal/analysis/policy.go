@@ -149,6 +149,7 @@ func (p *Policy) IsMessageType(typeName string) bool {
 //	internal/experiment      DET003 —       FLT001     —          (report emission must be order-stable)
 //	internal/protocol        —     ✓        FLT001     ✓
 //	internal/faultnet        —     —        —          ✓
+//	internal/telemetry       ✓     —        FLT001     ✓          (clock injection enforced, not blanket-allowed)
 //	cmd/*, examples/*        —     DPL001   —          ✓
 func DefaultPolicy() *Policy {
 	det := []string{CodeGlobalRand, CodeWallClock, CodeMapOrder}
@@ -172,6 +173,11 @@ func DefaultPolicy() *Policy {
 				AllowedLeakFuncs: []string{"participateOnce"},
 			},
 			{Match: "internal/faultnet", Enable: errs},
+			// The observability layer must itself be deterministic: all
+			// wall-clock reads go through the injected Clock, with the
+			// single sanctioned time.Now() annotated at its definition —
+			// determinism is enforced here, not blanket-allowed.
+			{Match: "internal/telemetry", Enable: append(append([]string{CodeFloatEq}, det...), errs...)},
 			{Match: "cmd", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
 			{Match: "examples", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
 		},

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // SelectionRule chooses how the winner set for a candidate price is
@@ -47,6 +48,7 @@ type config struct {
 	priceSet    []float64
 	hasPriceSet bool
 	parallelism int
+	telemetry   *telemetry.Registry
 }
 
 // WithRule selects the winner-set computation rule. The default is
@@ -77,6 +79,14 @@ func WithPriceSet(p []float64) Option {
 // the sequential path.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
+}
+
+// WithTelemetry records construction metrics (mcs_core_*) and the
+// mechanism's sampling metrics in reg. Timing goes through the
+// registry's injected clock, so the auction itself stays free of
+// wall-clock reads; a nil registry keeps the zero-overhead nop path.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) { c.telemetry = reg }
 }
 
 // PriceInfo describes the mechanism's state at one support price.
@@ -147,6 +157,8 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	reg := cfg.telemetry
+	buildStart := reg.Now()
 	a := &Auction{inst: inst.Clone(), rule: cfg.rule}
 
 	cp := newCoverProblem(&a.inst)
@@ -181,7 +193,7 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 			distinct = append(distinct, count)
 		}
 	}
-	cache := a.coverByCount(cp, sorted, distinct, cfg.parallelism)
+	cache := a.coverByCount(cp, sorted, distinct, cfg.parallelism, reg)
 
 	n := len(a.inst.Workers)
 	a.prices = make([]PriceInfo, 0, len(support))
@@ -219,7 +231,18 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 		return nil, fmt.Errorf("core: building exponential mechanism: %w", err)
 	}
 	a.mech = mech
+	a.mech.Instrument(reg)
 	a.gainEvals = int(cp.evals.Load())
+
+	reg.Counter("mcs_core_auctions_total", "DP-hSRC auctions constructed.").Inc()
+	reg.Counter("mcs_core_gain_evals_total",
+		"Marginal-gain evaluations performed by greedy winner-set construction.").Add(int64(a.gainEvals))
+	reg.Histogram("mcs_core_support_size",
+		"Candidate-price-set size per constructed auction.", telemetry.SizeBuckets).
+		Observe(float64(len(a.prices)))
+	reg.Histogram("mcs_core_build_seconds",
+		"Full auction construction time (winner sets plus mechanism).", telemetry.TimeBuckets).
+		Observe(reg.Since(buildStart))
 	return a, nil
 }
 
@@ -234,15 +257,21 @@ type coverResult struct {
 }
 
 // coverByCount computes the winner set for every distinct candidate
-// count, optionally in parallel.
-func (a *Auction) coverByCount(cp *coverProblem, sorted []int, distinct []int, parallelism int) map[int]coverResult {
+// count, optionally in parallel. Per-count evaluation time lands in
+// mcs_core_cover_seconds; the histogram is atomic, so the parallel
+// path observes safely from every worker goroutine.
+func (a *Auction) coverByCount(cp *coverProblem, sorted []int, distinct []int, parallelism int, reg *telemetry.Registry) map[int]coverResult {
+	coverSeconds := reg.Histogram("mcs_core_cover_seconds",
+		"Winner-set computation time per distinct candidate count.", telemetry.TimeBuckets)
 	results := make([]coverResult, len(distinct))
 	compute := func(k int) {
+		start := reg.Now()
 		cands := sorted[:distinct[k]]
 		if cp.feasible(cands) {
 			winners, feas := a.cover(cp, cands)
 			results[k] = coverResult{winners: winners, feasible: feas}
 		}
+		coverSeconds.Observe(reg.Since(start))
 	}
 	if parallelism < 2 || len(distinct) < 2 {
 		for k := range distinct {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/dphsrc/dphsrc/internal/lp"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // Result reports the outcome of an exact solve.
@@ -20,8 +21,15 @@ type Result struct {
 	Proven bool
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// NodesPruned counts subtrees cut by the cardinality and LP bounds
+	// (or residual infeasibility) without expansion.
+	NodesPruned int
 	// LPCalls is the number of LP relaxations solved.
 	LPCalls int
+	// LPPivots is the total simplex pivots across those relaxations.
+	LPPivots int
+	// IncumbentUpdates counts strict improvements of the best cover.
+	IncumbentUpdates int
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
 }
@@ -39,6 +47,9 @@ type Options struct {
 	// the result is marked unproven. It has no effect on a single
 	// Solve call.
 	TotalBudget time.Duration
+	// Telemetry, when non-nil, receives per-solve counters and timings
+	// (mcs_ilp_*). Optimal propagates it into every per-price solve.
+	Telemetry *telemetry.Registry
 }
 
 // Solve finds a minimum-cardinality cover by depth-first
@@ -57,6 +68,7 @@ func Solve(p *CoverProblem, opts Options) (Result, error) {
 	if !p.Feasible() {
 		res.Elapsed = time.Since(start)
 		res.Proven = true
+		recordSolveTelemetry(opts.Telemetry, res)
 		return res, nil
 	}
 	res.Feasible = true
@@ -65,6 +77,7 @@ func Solve(p *CoverProblem, opts Options) (Result, error) {
 	if !ok {
 		// Feasible() passed, so greedy must cover; defensive.
 		res.Elapsed = time.Since(start)
+		recordSolveTelemetry(opts.Telemetry, res)
 		return res, nil
 	}
 
@@ -88,22 +101,54 @@ func Solve(p *CoverProblem, opts Options) (Result, error) {
 	res.Selected = s.bestSet
 	res.Proven = s.completed
 	res.Nodes = s.nodes
+	res.NodesPruned = s.pruned
 	res.LPCalls = s.lpCalls
+	res.LPPivots = s.lpPivots
+	res.IncumbentUpdates = s.incumbents
 	res.Elapsed = time.Since(start)
+	recordSolveTelemetry(opts.Telemetry, res)
 	return res, nil
+}
+
+// recordSolveTelemetry exports one finished solve into the registry.
+// It deliberately reuses res.Elapsed rather than reading a clock of its
+// own, so the package's wall-clock reads stay confined to the
+// annotated budget/Elapsed sites above.
+func recordSolveTelemetry(reg *telemetry.Registry, res Result) {
+	reg.Counter("mcs_ilp_solves_total",
+		"Exact branch-and-bound solves attempted.").Inc()
+	reg.Counter("mcs_ilp_nodes_total",
+		"Branch-and-bound nodes expanded.").Add(int64(res.Nodes))
+	reg.Counter("mcs_ilp_nodes_pruned_total",
+		"Subtrees pruned by cardinality/LP bounds or residual infeasibility.").Add(int64(res.NodesPruned))
+	reg.Counter("mcs_ilp_lp_calls_total",
+		"LP relaxations solved for lower bounds.").Add(int64(res.LPCalls))
+	reg.Counter("mcs_ilp_lp_pivots_total",
+		"Total simplex pivots across LP relaxations.").Add(int64(res.LPPivots))
+	reg.Counter("mcs_ilp_incumbent_updates_total",
+		"Strict improvements of the best cover found.").Add(int64(res.IncumbentUpdates))
+	if !res.Proven {
+		reg.Counter("mcs_ilp_budget_exhausted_total",
+			"Solves that returned an unproven incumbent because the node or time budget expired.").Inc()
+	}
+	reg.Histogram("mcs_ilp_solve_seconds",
+		"Wall-clock time per exact solve.", telemetry.TimeBuckets).Observe(res.Elapsed.Seconds())
 }
 
 // searcher carries the mutable branch-and-bound state.
 type searcher struct {
-	p         *CoverProblem
-	bestSet   []int
-	bestCard  int
-	nodes     int
-	lpCalls   int
-	deadline  time.Time
-	maxNodes  int
-	completed bool
-	cur       []int // current partial selection
+	p          *CoverProblem
+	bestSet    []int
+	bestCard   int
+	nodes      int
+	pruned     int
+	lpCalls    int
+	lpPivots   int
+	incumbents int
+	deadline   time.Time
+	maxNodes   int
+	completed  bool
+	cur        []int // current partial selection
 }
 
 // budgetExceeded checks node and time budgets. Time is checked on
@@ -135,10 +180,12 @@ func (s *searcher) dfs(residual []float64, state []int8, selectedCount int) {
 		if selectedCount < s.bestCard {
 			s.bestCard = selectedCount
 			s.bestSet = append(s.bestSet[:0], s.cur...)
+			s.incumbents++
 		}
 		return
 	}
 	if selectedCount+1 >= s.bestCard {
+		s.pruned++
 		return // even one more candidate cannot beat the incumbent
 	}
 
@@ -146,9 +193,11 @@ func (s *searcher) dfs(residual []float64, state []int8, selectedCount int) {
 	// the LP lower bound.
 	lb, frac, feasible := s.lowerBound(residual, state)
 	if !feasible {
+		s.pruned++
 		return
 	}
 	if selectedCount+lb >= s.bestCard {
+		s.pruned++
 		return
 	}
 	branch := s.pickBranch(residual, state, frac)
@@ -242,6 +291,7 @@ func (s *searcher) lowerBound(residual []float64, state []int8) (int, map[int]fl
 	}
 	s.lpCalls++
 	sol, err := lp.Solve(lp.Problem{Objective: objective, Constraints: constraints, MaxIterations: boundLPIterCap})
+	s.lpPivots += sol.Iterations
 	if err != nil || sol.Status != lp.Optimal {
 		// LP breakdown: fall back to the trivial bound of 1 so the
 		// search stays correct (just less pruned).

@@ -29,12 +29,15 @@ type OptimalResult struct {
 	Proven bool
 	// Feasible reports whether any feasible price exists.
 	Feasible bool
-	// Solves counts exact TPM solves performed; Nodes and LPCalls
-	// aggregate over them.
-	Solves  int
-	Nodes   int
-	LPCalls int
-	Elapsed time.Duration
+	// Solves counts exact TPM solves performed; Nodes, NodesPruned,
+	// LPCalls, LPPivots and IncumbentUpdates aggregate over them.
+	Solves           int
+	Nodes            int
+	NodesPruned      int
+	LPCalls          int
+	LPPivots         int
+	IncumbentUpdates int
+	Elapsed          time.Duration
 }
 
 // Optimal computes R_OPT for the instance: for each distinct candidate
@@ -164,7 +167,10 @@ func Optimal(inst core.Instance, opts Options) (OptimalResult, error) {
 		}
 		res.Solves++
 		res.Nodes += sr.Nodes
+		res.NodesPruned += sr.NodesPruned
 		res.LPCalls += sr.LPCalls
+		res.LPPivots += sr.LPPivots
+		res.IncumbentUpdates += sr.IncumbentUpdates
 		if !sr.Proven {
 			res.Proven = false
 		}
@@ -191,7 +197,10 @@ func Optimal(inst core.Instance, opts Options) (OptimalResult, error) {
 	}
 	best.Solves = res.Solves
 	best.Nodes = res.Nodes
+	best.NodesPruned = res.NodesPruned
 	best.LPCalls = res.LPCalls
+	best.LPPivots = res.LPPivots
+	best.IncumbentUpdates = res.IncumbentUpdates
 	best.Elapsed = time.Since(start)
 	return best, nil
 }

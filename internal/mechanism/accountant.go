@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // Accountant errors.
@@ -26,6 +28,30 @@ type Accountant struct {
 	mu    sync.Mutex
 	total float64
 	spent float64
+	// Telemetry handles; nil (the default) no-ops.
+	epsSpent *telemetry.Gauge
+	spends   *telemetry.Counter
+	refusals *telemetry.Counter
+}
+
+// Instrument exports the ledger to a telemetry registry:
+// mcs_mechanism_epsilon_spent tracks the cumulative debit,
+// mcs_mechanism_epsilon_budget the configured total, and
+// spends/refusal counters the ledger traffic. A nil registry is the
+// nop. Safe to call at any point; the gauge snaps to the current
+// ledger immediately.
+func (a *Accountant) Instrument(reg *telemetry.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.epsSpent = reg.Gauge("mcs_mechanism_epsilon_spent",
+		"Cumulative privacy budget debited under sequential composition.")
+	a.spends = reg.Counter("mcs_mechanism_spends_total",
+		"Successful privacy-budget debits (one per completed round).")
+	a.refusals = reg.Counter("mcs_mechanism_spend_refusals_total",
+		"Debits refused because they would overdraw the budget.")
+	reg.Gauge("mcs_mechanism_epsilon_budget",
+		"Total configured privacy budget.").Set(a.total)
+	a.epsSpent.Set(a.spent)
 }
 
 // NewAccountant returns an accountant with the given total epsilon
@@ -47,9 +73,12 @@ func (a *Accountant) Spend(eps float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spent+eps > a.total+1e-12 {
+		a.refusals.Inc()
 		return fmt.Errorf("%w: spent %v of %v, refusing eps=%v", ErrBudgetExhausted, a.spent, a.total, eps)
 	}
 	a.spent += eps
+	a.spends.Inc()
+	a.epsSpent.Set(a.spent)
 	return nil
 }
 

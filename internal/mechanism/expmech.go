@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"github.com/dphsrc/dphsrc/internal/stats"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // ErrEmptySupport reports that a mechanism was asked to choose from an
@@ -31,6 +32,25 @@ type Exponential struct {
 	// maxLW is cached so PMF and Sample can shift into a numerically
 	// safe range without rescanning.
 	maxLW float64
+	// Telemetry handles; nil (the default) makes every record a no-op,
+	// keeping Sample allocation-free. Set via Instrument before the
+	// mechanism is shared across goroutines.
+	reg        *telemetry.Registry
+	samples    *telemetry.Counter
+	pmfSeconds *telemetry.Histogram
+}
+
+// Instrument attaches the mechanism to a telemetry registry: price
+// draws count into mcs_mechanism_samples_total and exact PMF
+// computations time into mcs_mechanism_pmf_seconds (against the
+// registry's injected clock, so the package stays wall-clock-free).
+// Call before the mechanism is shared; a nil registry is the nop.
+func (e *Exponential) Instrument(reg *telemetry.Registry) {
+	e.reg = reg
+	e.samples = reg.Counter("mcs_mechanism_samples_total",
+		"Exponential-mechanism price draws (Gumbel-max).")
+	e.pmfSeconds = reg.Histogram("mcs_mechanism_pmf_seconds",
+		"Exact PMF computation time.", telemetry.TimeBuckets)
 }
 
 // NewExponential builds a mechanism from the given log-weights. The
@@ -61,6 +81,7 @@ func (e *Exponential) Len() int { return len(e.logWeights) }
 // computed with a max-shift so that it is well defined even when the
 // raw weights exp(logWeight) underflow float64.
 func (e *Exponential) PMF() []float64 {
+	start := e.reg.Now()
 	pmf := make([]float64, len(e.logWeights))
 	sum := 0.0
 	for i, lw := range e.logWeights {
@@ -71,6 +92,7 @@ func (e *Exponential) PMF() []float64 {
 	for i := range pmf {
 		pmf[i] /= sum
 	}
+	e.pmfSeconds.Observe(e.reg.Since(start))
 	return pmf
 }
 
@@ -88,6 +110,7 @@ func (e *Exponential) Sample(r *rand.Rand) int {
 			best = i
 		}
 	}
+	e.samples.Inc()
 	return best
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // TestDegradedRoundsDoNotDebit: the accountant is charged at the
@@ -75,12 +76,14 @@ func TestBudgetRefusedBeforeCollectingBids(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	start := time.Now()
+	sw := telemetry.NewStopwatch(telemetry.WallClock())
 	if _, err := platform.RunRound(context.Background(), ln); !errors.Is(err, mechanism.ErrBudgetExhausted) {
 		t.Fatalf("want ErrBudgetExhausted, got %v", err)
 	}
-	if time.Since(start) > time.Second {
-		t.Errorf("refusal waited %v; must not open the bid window", time.Since(start))
+	// Well under the 5s bid window: the refusal must short-circuit
+	// before bid collection starts.
+	if elapsed := sw.Elapsed(); elapsed > 2500*time.Millisecond {
+		t.Errorf("refusal waited %v; must not open the bid window", elapsed)
 	}
 	if got := acct.Spent(); got != 0 {
 		t.Errorf("refused round debited %v, want 0", got)

@@ -29,6 +29,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/faultnet"
 	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // chaosOpts parameterizes one fault-injected round.
@@ -42,6 +43,7 @@ type chaosOpts struct {
 	plan       faultnet.Plan
 	retry      RetryPolicy
 	accountant *mechanism.Accountant
+	telemetry  *telemetry.Registry
 }
 
 func defaultChaosOpts(seed int64, workers int) chaosOpts {
@@ -94,6 +96,7 @@ func chaosPlatformConfig(o chaosOpts) PlatformConfig {
 		IOTimeout:  o.ioTimeout,
 		Seed:       o.seed,
 		Accountant: o.accountant,
+		Telemetry:  o.telemetry,
 	}
 }
 
@@ -627,6 +630,73 @@ func TestChaosCampaignTotalsProperty(t *testing.T) {
 				t.Errorf("campaign total %v != sum of rounds %v", c.TotalPayment, sum)
 			}
 		})
+	}
+}
+
+// TestChaosTelemetryAgreesWithFaultAccounting runs a fault-injected
+// round with a live registry and demands that every telemetry counter
+// agrees exactly with the round's own fault accounting: the injected
+// faults must be visible in the metrics, not just in the report.
+func TestChaosTelemetryAgreesWithFaultAccounting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	o := defaultChaosOpts(7, 50)
+	o.telemetry = reg
+
+	rep, _, _, err := runChaosRound(t, o)
+
+	counter := func(name string) int64 { return reg.Counter(name, "").Value() }
+	completed := counter(`mcs_protocol_rounds_total{outcome="completed"}`)
+	degraded := counter(`mcs_protocol_rounds_total{outcome="degraded"}`)
+	failed := counter(`mcs_protocol_rounds_total{outcome="failed"}`)
+	if completed+degraded+failed != 1 {
+		t.Fatalf("rounds_total outcomes sum to %d, want exactly 1 (completed=%d degraded=%d failed=%d)",
+			completed+degraded+failed, completed, degraded, failed)
+	}
+	if err == nil && completed != 1 {
+		t.Errorf("round completed but completed counter is %d", completed)
+	}
+	if err != nil {
+		assertTypedRoundError(t, err)
+		if IsDegraded(err) && degraded != 1 {
+			t.Errorf("round degraded (%v) but degraded counter is %d", err, degraded)
+		}
+		return
+	}
+
+	// The handshake counters partition RoundFaults.
+	rejected := counter(`mcs_protocol_bids_total{result="rejected"}`)
+	timedOut := counter(`mcs_protocol_bids_total{result="timeout"}`)
+	if got, want := rejected+timedOut, int64(rep.Faults.HandshakesFailed); got != want {
+		t.Errorf("bids rejected+timeout = %d, want HandshakesFailed = %d", got, want)
+	}
+	if got, want := counter(`mcs_protocol_bids_total{result="duplicate"}`), int64(rep.Faults.DuplicatesRejected); got != want {
+		t.Errorf("duplicate bids counter %d, want %d", got, want)
+	}
+	if got, want := counter(`mcs_protocol_bids_total{result="accepted"}`), int64(rep.Bidders); got != want {
+		t.Errorf("accepted bids counter %d, want %d bidders", got, want)
+	}
+	for _, tc := range []struct {
+		name string
+		want int
+	}{
+		{`mcs_protocol_round_faults_total{kind="winner_unreachable"}`, rep.Faults.WinnersUnreachable},
+		{`mcs_protocol_round_faults_total{kind="winner_evicted"}`, rep.Faults.WinnersEvicted},
+		{`mcs_protocol_round_faults_total{kind="loser_unnotified"}`, rep.Faults.LosersUnnotified},
+	} {
+		if got := counter(tc.name); got != int64(tc.want) {
+			t.Errorf("%s = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// At 30% injection over 50 workers, at least one fault class must
+	// have fired and hence be visible in the metrics.
+	if rep.Faults.Total() > 0 && rejected+timedOut+counter(`mcs_protocol_bids_total{result="duplicate"}`)+
+		counter(`mcs_protocol_round_faults_total{kind="winner_unreachable"}`)+
+		counter(`mcs_protocol_round_faults_total{kind="winner_evicted"}`)+
+		counter(`mcs_protocol_round_faults_total{kind="loser_unnotified"}`) == 0 {
+		t.Error("round tolerated faults but no fault counter moved")
+	}
+	if got := reg.Histogram("mcs_protocol_round_seconds", "", telemetry.TimeBuckets).Count(); got != 1 {
+		t.Errorf("round_seconds observed %d rounds, want 1", got)
 	}
 }
 

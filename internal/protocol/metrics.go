@@ -1,0 +1,94 @@
+package protocol
+
+import (
+	"errors"
+	"net"
+
+	"github.com/dphsrc/dphsrc/internal/telemetry"
+)
+
+// platformMetrics bundles the platform's telemetry handles. All fields
+// are nil when the platform runs without a registry, in which case
+// every record is a no-op; instrumented code never branches on whether
+// telemetry is enabled.
+type platformMetrics struct {
+	// mcs_protocol_bids_total{result=...}: one increment per handshake
+	// outcome. accepted+rejected+timeout+duplicate accounts for every
+	// in-window connection; rejected+timeout equals
+	// RoundFaults.HandshakesFailed and duplicate equals
+	// RoundFaults.DuplicatesRejected.
+	bidsAccepted  *telemetry.Counter
+	bidsRejected  *telemetry.Counter
+	bidsTimedOut  *telemetry.Counter
+	bidsDuplicate *telemetry.Counter
+
+	// mcs_protocol_round_faults_total{kind=...}: the post-auction fault
+	// classes of RoundFaults.
+	faultWinnerUnreachable *telemetry.Counter
+	faultWinnerEvicted     *telemetry.Counter
+	faultLoserUnnotified   *telemetry.Counter
+
+	// mcs_protocol_rounds_total{outcome=...}: every round ends in
+	// exactly one of completed / degraded / failed.
+	roundsCompleted *telemetry.Counter
+	roundsDegraded  *telemetry.Counter
+	roundsFailed    *telemetry.Counter
+
+	// quorumFailures counts the ErrQuorumNotMet subset of degraded
+	// rounds; budgetRefusals the rounds refused by the privacy
+	// accountant (before collection or at the debit).
+	quorumFailures *telemetry.Counter
+	budgetRefusals *telemetry.Counter
+
+	// Round latency, total and per phase.
+	roundSeconds   *telemetry.Histogram
+	phaseCollect   *telemetry.Histogram
+	phaseAuction   *telemetry.Histogram
+	phaseLabels    *telemetry.Histogram
+	phaseAggregate *telemetry.Histogram
+}
+
+// newPlatformMetrics registers the platform's metric families eagerly,
+// so a scrape during the first bid window already sees every series at
+// zero. A nil registry yields all-nil handles (the nop).
+func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
+	const (
+		bidsHelp   = "Bid handshake outcomes per connection."
+		faultsHelp = "Post-auction per-session faults the round tolerated."
+		roundsHelp = "Auction rounds by final outcome."
+		phaseHelp  = "Wall-clock time per round phase."
+	)
+	return platformMetrics{
+		bidsAccepted:  reg.Counter(`mcs_protocol_bids_total{result="accepted"}`, bidsHelp),
+		bidsRejected:  reg.Counter(`mcs_protocol_bids_total{result="rejected"}`, bidsHelp),
+		bidsTimedOut:  reg.Counter(`mcs_protocol_bids_total{result="timeout"}`, bidsHelp),
+		bidsDuplicate: reg.Counter(`mcs_protocol_bids_total{result="duplicate"}`, bidsHelp),
+
+		faultWinnerUnreachable: reg.Counter(`mcs_protocol_round_faults_total{kind="winner_unreachable"}`, faultsHelp),
+		faultWinnerEvicted:     reg.Counter(`mcs_protocol_round_faults_total{kind="winner_evicted"}`, faultsHelp),
+		faultLoserUnnotified:   reg.Counter(`mcs_protocol_round_faults_total{kind="loser_unnotified"}`, faultsHelp),
+
+		roundsCompleted: reg.Counter(`mcs_protocol_rounds_total{outcome="completed"}`, roundsHelp),
+		roundsDegraded:  reg.Counter(`mcs_protocol_rounds_total{outcome="degraded"}`, roundsHelp),
+		roundsFailed:    reg.Counter(`mcs_protocol_rounds_total{outcome="failed"}`, roundsHelp),
+
+		quorumFailures: reg.Counter("mcs_protocol_quorum_failures_total",
+			"Rounds that closed the bid window below quorum."),
+		budgetRefusals: reg.Counter("mcs_protocol_budget_refusals_total",
+			"Rounds refused by the privacy accountant."),
+
+		roundSeconds: reg.Histogram("mcs_protocol_round_seconds",
+			"End-to-end wall-clock time per round.", telemetry.TimeBuckets),
+		phaseCollect:   reg.Histogram(`mcs_protocol_phase_seconds{phase="collect"}`, phaseHelp, telemetry.TimeBuckets),
+		phaseAuction:   reg.Histogram(`mcs_protocol_phase_seconds{phase="auction"}`, phaseHelp, telemetry.TimeBuckets),
+		phaseLabels:    reg.Histogram(`mcs_protocol_phase_seconds{phase="labels"}`, phaseHelp, telemetry.TimeBuckets),
+		phaseAggregate: reg.Histogram(`mcs_protocol_phase_seconds{phase="aggregate"}`, phaseHelp, telemetry.TimeBuckets),
+	}
+}
+
+// isTimeout reports whether err is (or wraps) a network timeout, which
+// the bid counters separate from other handshake failures.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

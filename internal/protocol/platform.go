@@ -8,12 +8,14 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // Platform-side errors.
@@ -78,6 +80,13 @@ type PlatformConfig struct {
 	Accountant *mechanism.Accountant
 	// Logger receives progress lines; nil disables logging.
 	Logger *log.Logger
+	// Telemetry, when non-nil, receives the platform's metric families
+	// (mcs_protocol_*) and is threaded into the auction core and the
+	// privacy accountant. Nil disables all recording at zero cost.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records one span tree per round
+	// (round -> collect-bids / auction / labels / aggregate).
+	Tracer *telemetry.Tracer
 }
 
 // validate checks the configuration.
@@ -149,6 +158,7 @@ type RoundReport struct {
 // Platform runs DP-hSRC auction rounds over TCP.
 type Platform struct {
 	cfg PlatformConfig
+	met platformMetrics
 }
 
 // NewPlatform validates the configuration and returns a Platform.
@@ -163,9 +173,20 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		cfg.Quorum = 1
 	}
 	if cfg.Seed == 0 {
+		//mcslint:allow MCS-DET002 fallback seed for callers that supplied none; the chosen value is logged and exported via mcs_protocol_seed_info so the run stays replayable after the fact
 		cfg.Seed = time.Now().UnixNano()
 	}
-	return &Platform{cfg: cfg}, nil
+	p := &Platform{cfg: cfg, met: newPlatformMetrics(cfg.Telemetry)}
+	p.logf("mechanism seed %d", cfg.Seed)
+	// An int64 seed exceeds float64's exact-integer range, so the value
+	// rides in a label (info-style gauge) rather than the sample.
+	cfg.Telemetry.Gauge(
+		fmt.Sprintf("mcs_protocol_seed_info{seed=%q}", strconv.FormatInt(cfg.Seed, 10)),
+		"Mechanism seed for this platform; the value is the seed label.").Set(1)
+	if cfg.Accountant != nil {
+		cfg.Accountant.Instrument(cfg.Telemetry)
+	}
+	return p, nil
 }
 
 // session is one worker's connection state.
@@ -191,8 +212,38 @@ func (p *Platform) RunRound(ctx context.Context, ln net.Listener) (RoundReport, 
 }
 
 // runRoundCollecting is RunRound plus the raw label reports, which the
-// multi-round campaign feeds to truth discovery.
+// multi-round campaign feeds to truth discovery. It wraps roundPhases
+// with the round-level telemetry: one span tree, the end-to-end
+// latency, and the final outcome tally.
 func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (RoundReport, []crowd.Report, error) {
+	reg := p.cfg.Telemetry
+	start := reg.Now()
+	root := p.cfg.Tracer.StartSpan("round")
+	rep, reports, err := p.roundPhases(ctx, ln, root)
+	root.End()
+	p.met.roundSeconds.Observe(reg.Since(start))
+	switch {
+	case err == nil:
+		p.met.roundsCompleted.Inc()
+	case errors.Is(err, ErrQuorumNotMet):
+		p.met.quorumFailures.Inc()
+		p.met.roundsDegraded.Inc()
+	case IsDegraded(err):
+		p.met.roundsDegraded.Inc()
+	case errors.Is(err, mechanism.ErrBudgetExhausted):
+		p.met.budgetRefusals.Inc()
+		p.met.roundsFailed.Inc()
+	default:
+		p.met.roundsFailed.Inc()
+	}
+	return rep, reports, err
+}
+
+// roundPhases runs the four phases of a round — collect-bids, auction,
+// labels, aggregate — each timed into mcs_protocol_phase_seconds and
+// traced as a child of root.
+func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telemetry.Span) (RoundReport, []crowd.Report, error) {
+	reg := p.cfg.Telemetry
 	if p.cfg.Accountant != nil {
 		// Refuse up front when the budget cannot cover this round: a
 		// doomed round must not even collect bids. The actual debit
@@ -203,7 +254,12 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 				mechanism.ErrBudgetExhausted, rem, p.cfg.Epsilon)
 		}
 	}
+
+	collectStart := reg.Now()
+	collectSpan := root.StartChild("collect-bids")
 	sessions, faults, err := p.collectBids(ctx, ln)
+	collectSpan.End()
+	p.met.phaseCollect.Observe(reg.Since(collectStart))
 	if err != nil {
 		return RoundReport{}, nil, err
 	}
@@ -226,24 +282,14 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 	}
 	p.logf("collected %d bids (%d session faults tolerated)", len(sessions), faults.Total())
 
-	inst, err := p.buildInstance(sessions)
+	auctionStart := reg.Now()
+	auctionSpan := root.StartChild("auction")
+	outcome, inst, err := p.runAuctionPhase(sessions)
+	auctionSpan.End()
+	p.met.phaseAuction.Observe(reg.Since(auctionStart))
 	if err != nil {
 		return RoundReport{Faults: faults}, nil, err
 	}
-	auction, err := core.New(inst)
-	if err != nil {
-		return RoundReport{Faults: faults}, nil, fmt.Errorf("protocol: building auction: %w", err)
-	}
-
-	if p.cfg.Accountant != nil {
-		// The price draw below is the privacy-relevant release: debit
-		// exactly once, exactly here.
-		if err := p.cfg.Accountant.Spend(p.cfg.Epsilon); err != nil {
-			return RoundReport{Faults: faults}, nil, err
-		}
-	}
-	outcome := auction.Run(rand.New(rand.NewSource(p.cfg.Seed)))
-	p.logf("clearing price %.2f with %d winners", outcome.Price, len(outcome.Winners))
 
 	report := RoundReport{
 		Bidders: len(sessions),
@@ -258,6 +304,9 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 		winners[w] = true
 	}
 
+	labelsStart := reg.Now()
+	labelsSpan := root.StartChild("labels")
+
 	// Notify losers and release them.
 	for i, s := range sessions {
 		if winners[i] {
@@ -265,6 +314,7 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 		}
 		if err := s.conn.Send(Message{Type: TypeOutcome, Won: false}); err != nil {
 			faults.LosersUnnotified++
+			p.met.faultLoserUnnotified.Inc()
 			continue
 		}
 		_ = s.conn.Send(Message{Type: TypeDone})
@@ -293,6 +343,7 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 				fmu.Lock()
 				faults.WinnersUnreachable++
 				fmu.Unlock()
+				p.met.faultWinnerUnreachable.Inc()
 				return
 			}
 			m, err := s.conn.Expect(TypeLabels)
@@ -301,6 +352,7 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 				fmu.Lock()
 				faults.WinnersEvicted++
 				fmu.Unlock()
+				p.met.faultWinnerEvicted.Inc()
 				return
 			}
 			var got []crowd.Report
@@ -316,6 +368,8 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 		}(i, sessions[i])
 	}
 	wg.Wait()
+	labelsSpan.End()
+	p.met.phaseLabels.Observe(reg.Since(labelsStart))
 
 	var reports []crowd.Report
 	for _, rs := range perWinner {
@@ -324,12 +378,39 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 	report.ReportsReceived = len(reports)
 	report.Faults = faults
 
+	aggStart := reg.Now()
+	aggSpan := root.StartChild("aggregate")
 	agg, err := crowd.WeightedAggregate(reports, inst.Skills, inst.NumTasks)
+	aggSpan.End()
+	p.met.phaseAggregate.Observe(reg.Since(aggStart))
 	if err != nil {
 		return RoundReport{Faults: faults}, nil, fmt.Errorf("protocol: aggregation: %w", err)
 	}
 	report.Aggregated = agg
 	return report, reports, nil
+}
+
+// runAuctionPhase assembles the instance from the accepted bids, debits
+// the privacy accountant, and runs the DP-hSRC auction. The price draw
+// is the privacy-relevant release: the accountant is debited exactly
+// once, immediately before it.
+func (p *Platform) runAuctionPhase(sessions []*session) (core.Outcome, core.Instance, error) {
+	inst, err := p.buildInstance(sessions)
+	if err != nil {
+		return core.Outcome{}, core.Instance{}, err
+	}
+	auction, err := core.New(inst, core.WithTelemetry(p.cfg.Telemetry))
+	if err != nil {
+		return core.Outcome{}, core.Instance{}, fmt.Errorf("protocol: building auction: %w", err)
+	}
+	if p.cfg.Accountant != nil {
+		if err := p.cfg.Accountant.Spend(p.cfg.Epsilon); err != nil {
+			return core.Outcome{}, core.Instance{}, err
+		}
+	}
+	outcome := auction.Run(rand.New(rand.NewSource(p.cfg.Seed)))
+	p.logf("clearing price %.2f with %d winners", outcome.Price, len(outcome.Winners))
+	return outcome, inst, nil
 }
 
 // collectBids accepts connections and performs the hello/announce/bid
@@ -398,6 +479,11 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 					mu.Lock()
 					faults.HandshakesFailed++
 					mu.Unlock()
+					if isTimeout(err) {
+						p.met.bidsTimedOut.Inc()
+					} else {
+						p.met.bidsRejected.Inc()
+					}
 				}
 				return
 			}
@@ -405,12 +491,14 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 			defer mu.Unlock()
 			if seen[s.workerID] {
 				faults.DuplicatesRejected++
+				p.met.bidsDuplicate.Inc()
 				_ = s.conn.SendError(fmt.Errorf("%w: %s", ErrDuplicateBid, s.workerID))
 				_ = s.conn.Close()
 				return
 			}
 			seen[s.workerID] = true
 			sessions = append(sessions, s)
+			p.met.bidsAccepted.Inc()
 			if p.cfg.MinWorkers > 0 && len(sessions) >= p.cfg.MinWorkers {
 				cancel()
 			}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/crowd"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // testPlatformConfig returns a small feasible round configuration with
@@ -301,7 +302,7 @@ func TestContextCancelUnblocksWorker(t *testing.T) {
 	}()
 	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
 	defer cancel()
-	start := time.Now()
+	sw := telemetry.NewStopwatch(telemetry.WallClock())
 	_, err = Participate(ctx, ln.Addr().String(), WorkerConfig{
 		ID:        "w",
 		Bundle:    []int{0},
@@ -312,7 +313,7 @@ func TestContextCancelUnblocksWorker(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected error after cancellation")
 	}
-	if time.Since(start) > 3*time.Second {
-		t.Fatalf("worker hung for %v after cancel", time.Since(start))
+	if elapsed := sw.Elapsed(); elapsed > 3*time.Second {
+		t.Fatalf("worker hung for %v after cancel", elapsed)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/dphsrc/dphsrc/internal/crowd"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 )
 
 // Worker-side errors.
@@ -42,6 +43,9 @@ type WorkerConfig struct {
 	// AttemptTimeout bounds one whole attempt, dial through settlement;
 	// 0 leaves only IOTimeout and the caller's context.
 	AttemptTimeout time.Duration
+	// Telemetry, when non-nil, counts reconnection attempts into
+	// mcs_protocol_worker_retries_total.
+	Telemetry *telemetry.Registry
 }
 
 // validate checks the configuration.
@@ -100,9 +104,12 @@ func Participate(ctx context.Context, addr string, cfg WorkerConfig) (WorkerRepo
 
 	attempts := cfg.Retry.attempts()
 	rng := cfg.Retry.jitterRNG(cfg.ID)
+	retries := cfg.Telemetry.Counter("mcs_protocol_worker_retries_total",
+		"Worker reconnection attempts after transient transport failures.")
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			retries.Inc()
 			wait := cfg.Retry.backoff(attempt, rng)
 			select {
 			case <-time.After(wait):

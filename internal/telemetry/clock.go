@@ -1,0 +1,102 @@
+// Package telemetry is the repo's stdlib-only observability subsystem:
+// a Registry of atomic counters, gauges and fixed-bucket latency
+// histograms with Prometheus text exposition, plus lightweight span
+// tracing with JSON export.
+//
+// Two properties shape the design:
+//
+//  1. Nil is the Nop. A nil *Registry, *Counter, *Gauge, *Histogram,
+//     *Tracer or *Span is fully usable — every method no-ops and
+//     allocates nothing — so instrumented hot paths carry telemetry
+//     unconditionally and pay only a nil check when it is disabled.
+//     Packages therefore never branch on "is telemetry on".
+//
+//  2. The clock is injected. Deterministic packages (core, mechanism,
+//     ilp, ...) are forbidden wall-clock reads by mcs-lint
+//     (MCS-DET002); they time themselves through Registry.Now /
+//     Registry.Since, which resolve to the Registry's Clock. The one
+//     sanctioned time.Now() in the module's instrumentation path lives
+//     here, behind WallClock; tests swap in a ManualClock and get
+//     byte-reproducible durations.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time. Production registries use
+// WallClock(); deterministic tests inject a ManualClock.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock is the production clock.
+type systemClock struct{}
+
+// Now reads the wall clock.
+//
+//mcslint:allow MCS-DET002 the module's single sanctioned wall-clock read: every instrumented package times through an injected Clock, so swapping this implementation for a ManualClock restores byte-determinism
+func (systemClock) Now() time.Time { return time.Now() }
+
+// WallClock returns the real-time clock.
+func WallClock() Clock { return systemClock{} }
+
+// ManualClock is a settable clock for deterministic tests: time only
+// moves when Advance or Set is called. Safe for concurrent use.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock returns a manual clock frozen at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the clock's current frozen time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Set jumps the clock to t.
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}
+
+// Stopwatch measures elapsed time against an injected clock; it is the
+// monotonic-timing helper tests use instead of raw time.Now pairs. The
+// zero value (nil clock) reads as zero elapsed.
+type Stopwatch struct {
+	clock Clock
+	start time.Time
+}
+
+// NewStopwatch starts a stopwatch on the given clock; a nil clock
+// yields a stopwatch whose Elapsed is always zero.
+func NewStopwatch(c Clock) Stopwatch {
+	sw := Stopwatch{clock: c}
+	if c != nil {
+		sw.start = c.Now()
+	}
+	return sw
+}
+
+// Elapsed returns the time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock.Now().Sub(s.start)
+}

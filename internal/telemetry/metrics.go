@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. The nil counter
+// discards every operation without allocating.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n; non-positive deltas are discarded
+// (counters are monotone by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in either direction, stored
+// as atomic bits. The nil gauge discards every operation.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric with Prometheus
+// cumulative-bucket semantics: an observation v lands in the first
+// bucket whose upper bound is >= v, with an implicit +Inf overflow
+// bucket. The nil histogram discards every observation.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds (le)
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram copies the bounds so callers cannot mutate them later.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample. NaN samples are discarded; they would
+// poison the sum silently.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, le-inclusive
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the bucket upper bounds and per-bucket (non-
+// cumulative) counts; the final count is the +Inf overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// Default bucket layouts.
+var (
+	// TimeBuckets covers the pipeline's latency range, from sub-
+	// millisecond greedy covers to multi-second budgeted ILP solves.
+	TimeBuckets = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// SizeBuckets covers cardinalities: support sizes, winner counts,
+	// B&B node totals.
+	SizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+)
+
+// metric kinds, also the Prometheus TYPE strings.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Registry owns a process's metrics and the clock its instrumentation
+// times against. Metrics are registered lazily by name and returned on
+// subsequent lookups; names may carry Prometheus-style labels inline
+// (`mcs_protocol_bids_total{result="accepted"}`), in which case every
+// labeled series shares one exposition family. A nil *Registry is the
+// Nop implementation: lookups return nil metrics, Now returns the zero
+// time, and nothing allocates.
+type Registry struct {
+	clock Clock
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	familyKind map[string]string
+	familyHelp map[string]string
+}
+
+// RegistryOption configures NewRegistry.
+type RegistryOption func(*Registry)
+
+// WithClock injects the registry's clock; the default is WallClock().
+func WithClock(c Clock) RegistryOption {
+	return func(r *Registry) { r.clock = c }
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{
+		clock:      WallClock(),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		familyKind: make(map[string]string),
+		familyHelp: make(map[string]string),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Now reads the registry's clock; the nil registry reads as the zero
+// time, pairing with Since to make the nop path allocation- and
+// syscall-free.
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.clock.Now()
+}
+
+// Since returns the seconds elapsed since start on the registry's
+// clock; zero on the nil registry.
+func (r *Registry) Since(start time.Time) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.clock.Now().Sub(start).Seconds()
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. help documents the metric's family; the first non-empty
+// help for a family wins.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, kindCounter, help)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, kindGauge, help)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (later bounds are
+// ignored: first registration wins).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.register(name, kindHistogram, help)
+	h := newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// register records family bookkeeping for a new series. Reusing one
+// family name across metric kinds is a programmer error that would
+// corrupt the exposition, so it panics like a duplicate flag would.
+func (r *Registry) register(name, kind, help string) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	fam := familyOf(name)
+	if prev, ok := r.familyKind[fam]; ok && prev != kind {
+		panic("telemetry: metric family " + fam + " registered as both " + prev + " and " + kind)
+	}
+	r.familyKind[fam] = kind
+	if help != "" {
+		if _, ok := r.familyHelp[fam]; !ok {
+			r.familyHelp[fam] = help
+		}
+	}
+}
+
+// familyOf strips an inline label set: `f{k="v"}` -> `f`.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

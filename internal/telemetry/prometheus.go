@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): one `# HELP` / `# TYPE`
+// header per family, families and series in sorted order so the output
+// is byte-stable for a given set of metric values. Histograms emit
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`. The
+// nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type series struct {
+		name string
+		kind string
+	}
+	r.mu.Lock()
+	all := make([]series, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name := range r.counters {
+		all = append(all, series{name, kindCounter})
+	}
+	for name := range r.gauges {
+		all = append(all, series{name, kindGauge})
+	}
+	for name := range r.histograms {
+		all = append(all, series{name, kindHistogram})
+	}
+	familyHelp := make(map[string]string, len(r.familyHelp))
+	for fam, help := range r.familyHelp {
+		familyHelp[fam] = help
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.Unlock()
+	// Family-first ordering: '_' sorts before '{', so sorting raw names
+	// could interleave family F's labeled series with family F_x and
+	// emit F's TYPE header twice (invalid exposition).
+	sort.Slice(all, func(i, j int) bool {
+		fi, fj := familyOf(all[i].name), familyOf(all[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return all[i].name < all[j].name
+	})
+
+	var sb strings.Builder
+	lastFamily := ""
+	for _, s := range all {
+		fam := familyOf(s.name)
+		if fam != lastFamily {
+			if help, ok := familyHelp[fam]; ok {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", fam, escapeHelp(help))
+			}
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", fam, s.kind)
+			lastFamily = fam
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(&sb, "%s %d\n", s.name, counters[s.name].Value())
+		case kindGauge:
+			fmt.Fprintf(&sb, "%s %s\n", s.name, formatFloat(gauges[s.name].Value()))
+		case kindHistogram:
+			writeHistogram(&sb, s.name, histograms[s.name])
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogram emits the cumulative bucket/sum/count series for one
+// histogram, splicing the `le` label into any inline label set on the
+// series name.
+func writeHistogram(sb *strings.Builder, name string, h *Histogram) {
+	fam, labels := splitLabels(name)
+	bounds, counts := h.Buckets()
+	acc := int64(0)
+	for i, bound := range bounds {
+		acc += counts[i]
+		fmt.Fprintf(sb, "%s_bucket{%sle=%q} %d\n", fam, labels, formatFloat(bound), acc)
+	}
+	acc += counts[len(counts)-1]
+	fmt.Fprintf(sb, "%s_bucket{%sle=\"+Inf\"} %d\n", fam, labels, acc)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", fam, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", fam, suffix, h.Count())
+}
+
+// splitLabels splits `f{k="v"}` into family `f` and the inner label
+// text `k="v",` (trailing comma ready for `le` to append); an
+// unlabeled name yields an empty label text.
+func splitLabels(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip decimal notation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes newlines and backslashes in HELP text per the
+// exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
