@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke bench
+.PHONY: all build vet lint test race fuzz-smoke bench bench-diff
 
 all: build vet lint test
 
@@ -26,11 +26,21 @@ test:
 
 race: test
 
-# Micro-benchmarks for the auction core and the telemetry overhead
-# pair, regenerating the committed BENCH_core.json so perf changes show
-# up in diffs. Human-readable lines go to stderr.
+# Micro-benchmarks for the auction core, the telemetry overhead pair,
+# and the sweep engine (cover construction, reweight-vs-rebuild,
+# sequential-vs-parallel sweeps), regenerating the committed
+# BENCH_*.json files so perf changes show up in diffs. Human-readable
+# lines go to stderr.
 bench:
 	$(GO) run ./cmd/mcs-bench -out BENCH_core.json > /dev/null
+	$(GO) run ./cmd/mcs-bench -suite experiment -out BENCH_experiment.json > /dev/null
+
+# Regression gate: re-run the experiment suite and compare it against
+# the committed baseline; fails when a cover/gain benchmark is more
+# than 25% slower. Wired as a non-blocking CI step (benchmarks on
+# shared runners are noisy); run locally before committing perf work.
+bench-diff:
+	$(GO) run ./cmd/mcs-bench -suite experiment -baseline BENCH_experiment.json > /dev/null
 
 # Short fuzzing passes over the wire-format and instance-validation
 # targets, seeded from the on-disk corpora under testdata/fuzz/.

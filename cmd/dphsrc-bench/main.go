@@ -39,6 +39,7 @@ func run(args []string) error {
 		scale   = fs.Float64("scale", 1.0, "instance size multiplier vs Table I (use <1 to keep exact solves provable)")
 		budget  = fs.Duration("budget", 10*time.Second, "wall-clock budget per exact TPM solve")
 		samples = fs.Int("samples", 0, "Monte-Carlo price samples per point (0 = exact PMF statistics)")
+		par     = fs.Int("parallelism", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); results are byte-identical either way")
 		list    = fs.Bool("list", false, "print the Table I simulation settings and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +55,7 @@ func run(args []string) error {
 		Scale:         *scale,
 		OptimalBudget: *budget,
 		Samples:       *samples,
+		Parallelism:   *par,
 	}
 
 	want := map[string]bool{}

@@ -1,12 +1,20 @@
 // Command mcs-bench runs the repository's representative
 // micro-benchmarks programmatically (testing.Benchmark) and emits the
 // results as machine-readable JSON, so performance changes live in
-// reviewable diffs (BENCH_core.json) instead of terminal scrollback.
+// reviewable diffs (BENCH_core.json, BENCH_experiment.json) instead of
+// terminal scrollback.
 //
 // Usage:
 //
-//	mcs-bench                      # print JSON to stdout
-//	mcs-bench -out BENCH_core.json # also write the file `make bench` commits
+//	mcs-bench                             # core suite, JSON to stdout
+//	mcs-bench -out BENCH_core.json        # also write the file `make bench` commits
+//	mcs-bench -suite experiment -out BENCH_experiment.json
+//	mcs-bench -suite experiment -baseline BENCH_experiment.json
+//
+// With -baseline the fresh run is compared against the committed file
+// and the exit status is 1 when any cover/gain benchmark regresses by
+// more than 25% in ns/op (the `make bench-diff` gate; other benchmarks
+// are reported but do not gate).
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"github.com/dphsrc/dphsrc"
@@ -35,7 +44,25 @@ type benchFile struct {
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	Workers    int           `json:"workers"`
+	Suite      string        `json:"suite,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// regressionThreshold is the relative ns/op growth over the committed
+// baseline at which a gated (cover/gain) benchmark fails `-baseline`.
+const regressionThreshold = 0.25
+
+// gated reports whether a benchmark participates in the bench-diff
+// regression gate: the winner-set cover construction and marginal-gain
+// hot paths the CSR layout exists to keep fast.
+func gated(name string) bool {
+	low := strings.ToLower(name)
+	return strings.Contains(low, "cover") || strings.Contains(low, "gain")
 }
 
 func main() {
@@ -48,20 +75,134 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcs-bench", flag.ContinueOnError)
 	var (
-		out     = fs.String("out", "", "also write the JSON results to this file")
-		workers = fs.Int("workers", 100, "workers in the benchmark instance (Table I Setting I)")
+		out      = fs.String("out", "", "also write the JSON results to this file")
+		workers  = fs.Int("workers", 100, "workers in the benchmark instance (Table I Setting I)")
+		suite    = fs.String("suite", "core", "benchmark suite to run: core or experiment")
+		baseline = fs.String("baseline", "", "committed BENCH_*.json to diff against; exit 1 on >25% cover/gain regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	inst, err := dphsrc.SettingI(*workers).Generate(rand.New(rand.NewSource(1)))
+	var (
+		benches []namedBench
+		err     error
+	)
+	switch *suite {
+	case "core":
+		benches, err = coreBenches(*workers)
+	case "experiment":
+		benches, err = experimentBenches(*workers)
+	default:
+		return fmt.Errorf("unknown suite %q (want core or experiment)", *suite)
+	}
 	if err != nil {
 		return err
 	}
-	auction, err := dphsrc.New(inst)
+
+	file := benchFile{
+		Schema:  "mcs-bench/v1",
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Workers: *workers,
+		Suite:   *suite,
+	}
+	for _, bench := range benches {
+		fn := bench.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		file.Benchmarks = append(file.Benchmarks, benchResult{
+			Name:        bench.name,
+			N:           r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %8d B/op %6d allocs/op\n",
+			bench.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	if *baseline != "" {
+		if err := diffAgainstBaseline(*baseline, file); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		return err
+	}
+	if *out == "" {
+		return nil
+	}
+	f, err := os.Create(*out)
 	if err != nil {
 		return err
+	}
+	fenc := json.NewEncoder(f)
+	fenc.SetIndent("", "  ")
+	if err := fenc.Encode(file); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// diffAgainstBaseline compares the fresh run against the committed file
+// and errors when a gated benchmark regressed past the threshold.
+func diffAgainstBaseline(path string, fresh benchFile) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseByName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range fresh.Benchmarks {
+		prev, ok := baseByName[b.Name]
+		if !ok || prev.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "diff %-28s (no baseline entry)\n", b.Name)
+			continue
+		}
+		rel := float64(b.NsPerOp-prev.NsPerOp) / float64(prev.NsPerOp)
+		gate := " "
+		if gated(b.Name) {
+			gate = "*"
+		}
+		fmt.Fprintf(os.Stderr, "diff %s %-26s %12d -> %12d ns/op (%+.1f%%)\n",
+			gate, b.Name, prev.NsPerOp, b.NsPerOp, 100*rel)
+		if gated(b.Name) && rel > regressionThreshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (%d -> %d ns/op)", b.Name, 100*rel, prev.NsPerOp, b.NsPerOp))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench-diff gate (>%.0f%% on cover/gain): %s",
+			100*regressionThreshold, strings.Join(regressions, "; "))
+	}
+	return nil
+}
+
+// coreBenches is the original suite: auction construction and sampling
+// plus the telemetry nop-vs-live overhead pair.
+func coreBenches(workers int) ([]namedBench, error) {
+	inst, err := dphsrc.SettingI(workers).Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	auction, err := dphsrc.New(inst)
+	if err != nil {
+		return nil, err
 	}
 
 	// The nop-vs-live pair quantifies what instrumented hot paths pay:
@@ -72,10 +213,7 @@ func run(args []string) error {
 	nopCounter := nopReg.Counter("mcs_bench_ops_total", "")
 	liveCounter := liveReg.Counter("mcs_bench_ops_total", "Benchmark ops.")
 
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	return []namedBench{
 		{"AuctionNew", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := dphsrc.New(inst); err != nil {
@@ -121,49 +259,73 @@ func run(args []string) error {
 				h.Observe(liveReg.Since(start))
 			}
 		}},
-	}
+	}, nil
+}
 
-	file := benchFile{
-		Schema:  "mcs-bench/v1",
-		Go:      runtime.Version(),
-		GOOS:    runtime.GOOS,
-		GOARCH:  runtime.GOARCH,
-		Workers: *workers,
-	}
-	for _, bench := range benches {
-		fn := bench.fn
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			fn(b)
-		})
-		file.Benchmarks = append(file.Benchmarks, benchResult{
-			Name:        bench.name,
-			N:           r.N,
-			NsPerOp:     r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %8d B/op %6d allocs/op\n",
-			bench.name, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
-	}
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(file); err != nil {
-		return err
-	}
-	if *out == "" {
-		return nil
-	}
-	f, err := os.Create(*out)
+// experimentBenches covers the sweep-engine hot paths this repo
+// optimizes: the CSR cover construction (lazy and naive greedy), the
+// reweight-vs-rebuild epsilon sweep, and the sequential-vs-parallel
+// Figure 4 payment sweep.
+func experimentBenches(workers int) ([]namedBench, error) {
+	inst, err := dphsrc.SettingI(workers).Generate(rand.New(rand.NewSource(1)))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fenc := json.NewEncoder(f)
-	fenc.SetIndent("", "  ")
-	if err := fenc.Encode(file); err != nil {
-		_ = f.Close()
-		return err
+	auction, err := dphsrc.New(inst)
+	if err != nil {
+		return nil, err
 	}
-	return f.Close()
+	support := auction.SupportPrices()
+	epsilons := []float64{0.25, 1, 5, 45, 200, 1000}
+
+	sweepCfg := func(parallelism int) dphsrc.ExperimentConfig {
+		return dphsrc.ExperimentConfig{Seed: 7, Scale: 0.06, Parallelism: parallelism}
+	}
+
+	return []namedBench{
+		{"CoverGreedyLazy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.New(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CoverGreedyNaive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.New(inst, dphsrc.WithRule(dphsrc.RuleGreedyNaive)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ReweightEpsilon", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := auction.Reweight(epsilons[i%len(epsilons)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"RebuildEpsilon", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cur := inst.Clone()
+				cur.Epsilon = epsilons[i%len(epsilons)]
+				if _, err := dphsrc.New(cur, dphsrc.WithPriceSet(support)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SweepFigure4Sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.Figure4(sweepCfg(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"SweepFigure4Parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dphsrc.Figure4(sweepCfg(runtime.GOMAXPROCS(0))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}, nil
 }

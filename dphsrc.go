@@ -205,7 +205,15 @@ type (
 	// Distinguisher is the Bayes-optimal attacker deciding between two
 	// hypotheses about a victim's bid from observed auction outcomes.
 	Distinguisher = privacy.Distinguisher
+	// LeakagePoint is one epsilon of a payment-privacy sweep.
+	LeakagePoint = privacy.LeakagePoint
 )
+
+// EpsilonSweep traces the payment-privacy trade-off between two
+// auctions built from adjacent bid profiles over the same fixed price
+// support; each point derives from the precomputed auctions by
+// Auction.Reweight, so winner sets are constructed once per profile.
+var EpsilonSweep = privacy.EpsilonSweep
 
 // NewDistinguisher builds the attacker from the two hypothesis PMFs
 // (e.g. Auction.PMF() of two adjacent instances over a shared support).

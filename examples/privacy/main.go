@@ -66,25 +66,17 @@ func run() error {
 	fmt.Printf("total-variation distance: %.6f\n\n", leak.TV)
 
 	// Part 2: the payment-privacy trade-off (Figure 5 in miniature).
+	// Winner sets do not depend on epsilon, so the sweep reuses the two
+	// auctions built above and only reweights the mechanism per epsilon
+	// (Auction.Reweight) instead of rebuilding from scratch.
+	points, err := dphsrc.EpsilonSweep(auctionLow, auctionHigh,
+		[]float64{0.1, 0.5, 2, 10, 50, 200, 1000})
+	if err != nil {
+		return fmt.Errorf("epsilon sweep: %w", err)
+	}
 	fmt.Println("eps      expected payment   KL leakage")
-	for _, eps := range []float64{0.1, 0.5, 2, 10, 50, 200, 1000} {
-		cur := inst.Clone()
-		cur.Epsilon = eps
-		a, err := dphsrc.New(cur, dphsrc.WithPriceSet(support))
-		if err != nil {
-			return fmt.Errorf("eps=%v: %w", eps, err)
-		}
-		adj := cur.Clone()
-		adj.Workers[0].Bid = 55
-		b, err := dphsrc.New(adj, dphsrc.WithPriceSet(support))
-		if err != nil {
-			return fmt.Errorf("eps=%v: %w", eps, err)
-		}
-		l, err := dphsrc.MeasureLeakage(a.Mechanism(), b.Mechanism())
-		if err != nil {
-			return fmt.Errorf("eps=%v: %w", eps, err)
-		}
-		fmt.Printf("%-8g %-18.2f %.6f\n", eps, a.ExpectedPayment(), l.KL)
+	for _, pt := range points {
+		fmt.Printf("%-8g %-18.2f %.6f\n", pt.Epsilon, pt.ExpectedPayment, pt.Leakage.KL)
 	}
 
 	// Part 3: the attacker, as a first-class object. The Bayes-optimal

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -64,7 +65,9 @@ func WithRule(r SelectionRule) Option {
 // guarantee hold exactly (the support must not itself depend on a
 // single worker's bid). Prices in P that turn out infeasible for the
 // current bids are kept in the support with the maximal penalty payment
-// p*N so the mechanism remains total; see PriceInfo.Feasible.
+// pMax*N (support maximum times worker count) so the mechanism remains
+// total while never preferring an infeasible outcome; see
+// PriceInfo.Feasible and the penalty note in New.
 func WithPriceSet(p []float64) Option {
 	return func(c *config) {
 		c.priceSet = append([]float64(nil), p...)
@@ -97,8 +100,9 @@ type PriceInfo struct {
 	// in selection order. Nil when infeasible.
 	Winners []int
 	// Payment is the total payment the platform would make at this
-	// price: Price*len(Winners), or the penalty Price*N when the price
-	// is infeasible for the current bids.
+	// price: Price*len(Winners), or the penalty pMax*N (support maximum
+	// times worker count) when the price is infeasible for the current
+	// bids.
 	Payment float64
 	// Feasible reports whether the workers bidding at most Price can
 	// cover every task's error-bound constraint.
@@ -114,6 +118,10 @@ type Auction struct {
 	rule   SelectionRule
 	prices []PriceInfo
 	mech   *mechanism.Exponential
+	// reg is the telemetry registry the auction was constructed with
+	// (nil is the nop registry); Reweight instruments derived mechanisms
+	// against the same registry.
+	reg *telemetry.Registry
 	// gainEvals counts marginal-gain evaluations performed during
 	// construction; exposed for the lazy-vs-naive ablation.
 	gainEvals int
@@ -135,13 +143,18 @@ type Outcome struct {
 }
 
 // Payments returns the per-worker payment vector (the paper's p): the
-// clearing price for winners and zero for losers.
-func (o Outcome) Payments(numWorkers int) []float64 {
+// clearing price for winners and zero for losers. numWorkers must cover
+// every winner index; an outcome paired with the wrong instance returns
+// a descriptive ErrWorkerIndex error instead of panicking.
+func (o Outcome) Payments(numWorkers int) ([]float64, error) {
 	pay := make([]float64, numWorkers)
 	for _, w := range o.Winners {
+		if w < 0 || w >= numWorkers {
+			return nil, fmt.Errorf("%w: winner %d in an outcome settled for %d workers", ErrWorkerIndex, w, numWorkers)
+		}
 		pay[w] = o.Price
 	}
-	return pay
+	return pay, nil
 }
 
 // New validates the instance, computes the winner set for every support
@@ -159,7 +172,7 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	}
 	reg := cfg.telemetry
 	buildStart := reg.Now()
-	a := &Auction{inst: inst.Clone(), rule: cfg.rule}
+	a := &Auction{inst: inst.Clone(), rule: cfg.rule, reg: reg}
 
 	cp := newCoverProblem(&a.inst)
 	sorted := sortedByBid(a.inst.Workers)
@@ -198,6 +211,19 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	n := len(a.inst.Workers)
 	a.prices = make([]PriceInfo, 0, len(support))
 	anyFeasible := false
+	// Infeasible support prices carry the penalty payment pMax*N, the
+	// worst payment any feasible price can reach over the support. With
+	// an explicit price set the infeasible prices are the LOWEST ones
+	// (feasibility is monotone in price), so a per-price penalty x*N
+	// could undercut every feasible payment and the payment-minimizing
+	// exponential mechanism would preferentially sample infeasible
+	// outcomes; pinning the penalty to the support maximum keeps the
+	// totality device maximally dispreferred. Sensitivity: with the
+	// support inside the paper's cost set C subset [cmin, cmax], every
+	// score stays in [0, cmax*N] and a single-bid change moves any
+	// price's payment by at most N*cmax, so Theorem 2's 2*N*cmax
+	// normalizer in PaymentLogWeights still covers the penalty.
+	pMax := support[len(support)-1]
 	for pi, x := range support {
 		c := cache[countOf[pi]]
 		info := PriceInfo{Price: x, Winners: c.winners, Feasible: c.feasible}
@@ -205,7 +231,7 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 			info.Payment = x * float64(len(c.winners))
 			anyFeasible = true
 		} else {
-			info.Payment = x * float64(n)
+			info.Payment = pMax * float64(n)
 		}
 		a.prices = append(a.prices, info)
 	}
@@ -249,6 +275,37 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 // priceEps is the tolerance used when comparing bids to grid prices, so
 // that a bid exactly equal to a grid price is counted as a candidate.
 const priceEps = 1e-9
+
+// Reweight returns a new Auction over the same instance, support and
+// winner sets but with privacy budget eps: only the exponential
+// mechanism's log-weights (Eq. 10) are rebuilt. Winner sets depend on
+// the bids and the support but never on epsilon, so an epsilon sweep
+// over one instance (Figure 5, leakage measurements) pays winner-set
+// construction once and reweights per sweep point — no marginal-gain
+// evaluations are performed here and GainEvaluations is inherited
+// unchanged. The receiver is untouched and both auctions remain safe
+// for concurrent use; reweights count into mcs_core_reweights_total on
+// the registry the receiver was constructed with.
+func (a *Auction) Reweight(eps float64) (*Auction, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("%w: eps=%v", ErrBadEpsilon, eps)
+	}
+	// Shallow instance copy: the shared slices are never mutated after
+	// construction, and Instance() clones before handing them out.
+	inst := a.inst
+	inst.Epsilon = eps
+	nw := &Auction{inst: inst, rule: a.rule, prices: a.prices, reg: a.reg, gainEvals: a.gainEvals}
+	logW := mechanism.PaymentLogWeights(nw.paymentVector(), eps, len(inst.Workers), inst.CMax)
+	mech, err := mechanism.NewExponential(logW)
+	if err != nil {
+		return nil, fmt.Errorf("core: reweighting exponential mechanism: %w", err)
+	}
+	nw.mech = mech
+	nw.mech.Instrument(a.reg)
+	a.reg.Counter("mcs_core_reweights_total",
+		"Mechanism-only rebuilds that reuse an auction's winner sets across a privacy-budget sweep.").Inc()
+	return nw, nil
+}
 
 // coverResult caches the winner set for one candidate count.
 type coverResult struct {

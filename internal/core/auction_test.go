@@ -272,7 +272,10 @@ func TestOutcomePayments(t *testing.T) {
 	inst := tinyInstance()
 	a := mustAuction(t, inst)
 	out := a.Run(rand.New(rand.NewSource(1)))
-	pay := out.Payments(len(inst.Workers))
+	pay, err := out.Payments(len(inst.Workers))
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := 0.0
 	for i, p := range pay {
 		if p != 0 && p != out.Price {
@@ -282,6 +285,25 @@ func TestOutcomePayments(t *testing.T) {
 	}
 	if math.Abs(total-out.TotalPayment) > 1e-9 {
 		t.Errorf("payments sum %v != total %v", total, out.TotalPayment)
+	}
+}
+
+func TestOutcomePaymentsWorkerIndexOutOfRange(t *testing.T) {
+	inst := tinyInstance()
+	a := mustAuction(t, inst)
+	out := a.Run(rand.New(rand.NewSource(1)))
+	if len(out.Winners) == 0 {
+		t.Fatal("expected a non-empty winner set")
+	}
+	// An outcome settled against too few workers must report a
+	// descriptive error rather than panic on the slice index.
+	if _, err := out.Payments(0); !errors.Is(err, ErrWorkerIndex) {
+		t.Errorf("numWorkers=0: want ErrWorkerIndex, got %v", err)
+	}
+	bad := out
+	bad.Winners = []int{-1}
+	if _, err := bad.Payments(len(inst.Workers)); !errors.Is(err, ErrWorkerIndex) {
+		t.Errorf("negative winner: want ErrWorkerIndex, got %v", err)
 	}
 }
 
@@ -329,7 +351,8 @@ func TestWithPriceSetValidation(t *testing.T) {
 func TestWithPriceSetKeepsInfeasiblePrices(t *testing.T) {
 	inst := tinyInstance()
 	// Price 6 admits no candidates (cheapest bid is 10): infeasible,
-	// kept in support with penalty payment 6*N.
+	// kept in support with the maximal penalty payment pMax*N = 20*N so
+	// the payment-minimizing mechanism never prefers it.
 	a := mustAuction(t, inst, WithPriceSet([]float64{6, 20}))
 	support := a.Support()
 	if len(support) != 2 {
@@ -338,7 +361,7 @@ func TestWithPriceSetKeepsInfeasiblePrices(t *testing.T) {
 	if support[0].Feasible {
 		t.Error("price 6 should be infeasible")
 	}
-	if want := 6.0 * float64(len(inst.Workers)); support[0].Payment != want {
+	if want := 20.0 * float64(len(inst.Workers)); support[0].Payment != want {
 		t.Errorf("penalty payment %v, want %v", support[0].Payment, want)
 	}
 	if !support[1].Feasible {

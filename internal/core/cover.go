@@ -12,13 +12,18 @@ import (
 const residualTol = 1e-9
 
 // coverProblem is the prepared view of an instance that the winner-set
-// routines operate on: per-worker bundles with their quality
-// contributions laid out contiguously for tight gain loops.
+// routines operate on. Bundles and their quality contributions are laid
+// out CSR-style in two contiguous arrays indexed by a shared offset
+// table, so the gain/apply hot loops walk a single cache-friendly span
+// per worker instead of chasing a slice header per worker.
 type coverProblem struct {
 	numTasks int
 	demands  []float64 // Q_j
-	bundles  [][]int   // task indices per worker
-	quals    [][]float64
+	// offs[i]..offs[i+1] delimits worker i's span in taskIdx/qual;
+	// len(offs) == numWorkers+1.
+	offs    []int
+	taskIdx []int     // task index per (worker, bundle-slot) entry
+	qual    []float64 // q_ij per entry, parallel to taskIdx
 	// totalQual[i] = sum_j q_ij, the static score the baseline auction
 	// sorts by.
 	totalQual []float64
@@ -31,24 +36,30 @@ type coverProblem struct {
 // newCoverProblem precomputes the cover view from a validated instance.
 func newCoverProblem(inst *Instance) *coverProblem {
 	n := len(inst.Workers)
+	nnz := 0
+	for _, w := range inst.Workers {
+		nnz += len(w.Bundle)
+	}
 	cp := &coverProblem{
 		numTasks:  inst.NumTasks,
 		demands:   inst.Demands(),
-		bundles:   make([][]int, n),
-		quals:     make([][]float64, n),
+		offs:      make([]int, n+1),
+		taskIdx:   make([]int, 0, nnz),
+		qual:      make([]float64, 0, nnz),
 		totalQual: make([]float64, n),
 	}
 	for i, w := range inst.Workers {
-		cp.bundles[i] = w.Bundle
-		qs := make([]float64, len(w.Bundle))
+		cp.offs[i] = len(cp.taskIdx)
 		total := 0.0
-		for k, j := range w.Bundle {
-			qs[k] = qualityOf(inst.Skills[i][j])
-			total += qs[k]
+		for _, j := range w.Bundle {
+			q := qualityOf(inst.Skills[i][j])
+			cp.taskIdx = append(cp.taskIdx, j)
+			cp.qual = append(cp.qual, q)
+			total += q
 		}
-		cp.quals[i] = qs
 		cp.totalQual[i] = total
 	}
+	cp.offs[n] = len(cp.taskIdx)
 	return cp
 }
 
@@ -58,14 +69,12 @@ func newCoverProblem(inst *Instance) *coverProblem {
 func (cp *coverProblem) gain(i int, residual []float64) float64 {
 	cp.evals.Add(1)
 	g := 0.0
-	bundle := cp.bundles[i]
-	quals := cp.quals[i]
-	for k, j := range bundle {
-		r := residual[j]
+	for k := cp.offs[i]; k < cp.offs[i+1]; k++ {
+		r := residual[cp.taskIdx[k]]
 		if r <= 0 {
 			continue
 		}
-		q := quals[k]
+		q := cp.qual[k]
 		if q < r {
 			g += q
 		} else {
@@ -80,14 +89,13 @@ func (cp *coverProblem) gain(i int, residual []float64) float64 {
 // removed.
 func (cp *coverProblem) apply(i int, residual []float64) float64 {
 	removed := 0.0
-	bundle := cp.bundles[i]
-	quals := cp.quals[i]
-	for k, j := range bundle {
+	for k := cp.offs[i]; k < cp.offs[i+1]; k++ {
+		j := cp.taskIdx[k]
 		r := residual[j]
 		if r <= 0 {
 			continue
 		}
-		q := quals[k]
+		q := cp.qual[k]
 		if q < r {
 			residual[j] = r - q
 			removed += q
@@ -106,8 +114,8 @@ func (cp *coverProblem) apply(i int, residual []float64) float64 {
 func (cp *coverProblem) feasible(candidates []int) bool {
 	cover := make([]float64, cp.numTasks)
 	for _, i := range candidates {
-		for k, j := range cp.bundles[i] {
-			cover[j] += cp.quals[i][k]
+		for k := cp.offs[i]; k < cp.offs[i+1]; k++ {
+			cover[cp.taskIdx[k]] += cp.qual[k]
 		}
 	}
 	for j, c := range cover {

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/telemetry"
+)
+
+// TestInfeasiblePenaltyNeverPreferred is the regression test for the
+// penalty-inversion bug: with an explicit WithPriceSet support the
+// infeasible prices are the LOWEST ones, and the old per-price penalty
+// x*N undercut every feasible payment, so the payment-minimizing
+// exponential mechanism preferentially sampled infeasible outcomes.
+// With the fix (penalty pMax*N) every infeasible price must carry
+// strictly less PMF mass than the uniform share, and sampling must not
+// produce Feasible=false outcomes more often than the exact PMF
+// predicts. Against the pre-fix x*N code the low penalties 6*N and 8*N
+// beat the feasible payments (>= 60) and the first assertion fails.
+func TestInfeasiblePenaltyNeverPreferred(t *testing.T) {
+	inst := tinyInstance()
+	inst.Epsilon = 5 // sharp mechanism: payment preferences dominate
+	support := []float64{6, 8, 20, 22}
+	a := mustAuction(t, inst, WithPriceSet(support))
+
+	infos := a.Support()
+	if len(infos) != len(support) {
+		t.Fatalf("support size %d, want %d", len(infos), len(support))
+	}
+	pMax := support[len(support)-1]
+	wantPenalty := pMax * float64(len(inst.Workers))
+	maxFeasible := 0.0
+	for _, info := range infos {
+		if info.Feasible && info.Payment > maxFeasible {
+			maxFeasible = info.Payment
+		}
+	}
+	if maxFeasible <= 0 {
+		t.Fatal("expected at least one feasible support price")
+	}
+
+	pmf := a.PMF()
+	uniform := 1.0 / float64(len(infos))
+	infeasibleMass := 0.0
+	sawInfeasible := false
+	for i, info := range infos {
+		if info.Feasible {
+			continue
+		}
+		sawInfeasible = true
+		if info.Payment != wantPenalty {
+			t.Errorf("price %v: penalty %v, want pMax*N = %v", info.Price, info.Payment, wantPenalty)
+		}
+		if info.Payment < maxFeasible {
+			t.Errorf("price %v: penalty %v undercuts feasible payment %v", info.Price, info.Payment, maxFeasible)
+		}
+		if pmf[i] >= uniform {
+			t.Errorf("price %v infeasible but PMF mass %.4f >= uniform share %.4f", info.Price, pmf[i], uniform)
+		}
+		infeasibleMass += pmf[i]
+	}
+	if !sawInfeasible {
+		t.Fatal("test instance should have infeasible support prices")
+	}
+
+	// (b) Sampled frequency of infeasible outcomes must not exceed the
+	// exact PMF prediction beyond binomial noise (4-sigma margin).
+	const trials = 20000
+	r := rand.New(rand.NewSource(11))
+	infeasibleRuns := 0
+	for i := 0; i < trials; i++ {
+		if !a.Run(r).Feasible {
+			infeasibleRuns++
+		}
+	}
+	freq := float64(infeasibleRuns) / trials
+	sigma := math.Sqrt(infeasibleMass * (1 - infeasibleMass) / trials)
+	if freq > infeasibleMass+4*sigma {
+		t.Errorf("infeasible outcome frequency %.4f exceeds exact PMF mass %.4f (+4 sigma %.4f)",
+			freq, infeasibleMass, 4*sigma)
+	}
+}
+
+// reweightEpsGrid spans three orders of magnitude around typical
+// experiment sweeps (Figure 5 runs 0.25..1000).
+var reweightEpsGrid = []float64{0.05, 0.25, 1, 5, 50, 300}
+
+func assertReweightMatchesFresh(t *testing.T, inst Instance, support []float64) {
+	t.Helper()
+	base, err := New(inst, WithPriceSet(support))
+	if err != nil {
+		t.Fatalf("base auction: %v", err)
+	}
+	for _, eps := range reweightEpsGrid {
+		rw, err := base.Reweight(eps)
+		if err != nil {
+			t.Fatalf("Reweight(%v): %v", eps, err)
+		}
+		fresh := inst.Clone()
+		fresh.Epsilon = eps
+		want, err := New(fresh, WithPriceSet(support))
+		if err != nil {
+			t.Fatalf("fresh New(eps=%v): %v", eps, err)
+		}
+		gotS, wantS := rw.Support(), want.Support()
+		if len(gotS) != len(wantS) {
+			t.Fatalf("eps=%v: support sizes %d vs %d", eps, len(gotS), len(wantS))
+		}
+		for i := range gotS {
+			if gotS[i].Price != wantS[i].Price || gotS[i].Payment != wantS[i].Payment ||
+				gotS[i].Feasible != wantS[i].Feasible {
+				t.Fatalf("eps=%v support[%d]: reweight %+v vs fresh %+v", eps, i, gotS[i], wantS[i])
+			}
+			if len(gotS[i].Winners) != len(wantS[i].Winners) {
+				t.Fatalf("eps=%v support[%d]: winner counts differ", eps, i)
+			}
+			for k := range gotS[i].Winners {
+				if gotS[i].Winners[k] != wantS[i].Winners[k] {
+					t.Fatalf("eps=%v support[%d]: winner sets differ", eps, i)
+				}
+			}
+		}
+		gotP, wantP := rw.PMF(), want.PMF()
+		for i := range gotP {
+			if math.Abs(gotP[i]-wantP[i]) > 1e-12 {
+				t.Fatalf("eps=%v PMF[%d]: reweight %v vs fresh %v", eps, i, gotP[i], wantP[i])
+			}
+		}
+		if rw.Instance().Epsilon != eps {
+			t.Fatalf("reweighted instance epsilon %v, want %v", rw.Instance().Epsilon, eps)
+		}
+		if rw.GainEvaluations() != base.GainEvaluations() {
+			t.Fatalf("eps=%v: GainEvaluations %d != base %d", eps, rw.GainEvaluations(), base.GainEvaluations())
+		}
+	}
+}
+
+func TestReweightMatchesFreshBuildTiny(t *testing.T) {
+	inst := tinyInstance()
+	// Mixed support: 6 and 8 infeasible, the rest feasible.
+	assertReweightMatchesFresh(t, inst, []float64{6, 8, 15, 20, 22})
+}
+
+// TestReweightMatchesFreshBuildProperty is the randomized property over
+// instances: for every epsilon in the grid, Reweight must be
+// indistinguishable from a fresh New with the same fixed support.
+func TestReweightMatchesFreshBuildProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	built := 0
+	for trial := 0; trial < 40 && built < 12; trial++ {
+		inst := feasibleRandomInstance(r)
+		def, err := New(inst)
+		if err != nil {
+			continue // infeasible draw
+		}
+		built++
+		support := def.SupportPrices()
+		// Prepend a price below every bid so the support also exercises
+		// the infeasible-penalty path.
+		low := support[0] / 2
+		assertReweightMatchesFresh(t, inst, append([]float64{low}, support...))
+	}
+	if built < 5 {
+		t.Fatalf("only %d feasible random instances in 40 draws", built)
+	}
+}
+
+func TestReweightRejectsBadEpsilon(t *testing.T) {
+	a := mustAuction(t, tinyInstance())
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := a.Reweight(eps); !errors.Is(err, ErrBadEpsilon) {
+			t.Errorf("Reweight(%v): want ErrBadEpsilon, got %v", eps, err)
+		}
+	}
+}
+
+// TestReweightGainEvalsAndTelemetry pins the tentpole contract: an
+// epsilon sweep over one auction performs winner-set construction once.
+// The gain-evaluation counter must stay flat across reweights while
+// mcs_core_reweights_total counts each mechanism rebuild.
+func TestReweightGainEvalsAndTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := mustAuction(t, tinyInstance(), WithTelemetry(reg))
+
+	gainEvals := reg.Counter("mcs_core_gain_evals_total", "").Value()
+	auctions := reg.Counter("mcs_core_auctions_total", "").Value()
+	if gainEvals == 0 {
+		t.Fatal("expected gain evaluations during construction")
+	}
+	if auctions != 1 {
+		t.Fatalf("auctions_total = %d, want 1", auctions)
+	}
+
+	cur := a
+	for i, eps := range reweightEpsGrid {
+		var err error
+		cur, err = cur.Reweight(eps)
+		if err != nil {
+			t.Fatalf("Reweight(%v): %v", eps, err)
+		}
+		if got := reg.Counter("mcs_core_reweights_total", "").Value(); got != int64(i+1) {
+			t.Errorf("after %d reweights: reweights_total = %d", i+1, got)
+		}
+	}
+	if got := reg.Counter("mcs_core_gain_evals_total", "").Value(); got != gainEvals {
+		t.Errorf("gain_evals_total grew across reweights: %d -> %d", gainEvals, got)
+	}
+	if got := reg.Counter("mcs_core_auctions_total", "").Value(); got != auctions {
+		t.Errorf("auctions_total grew across reweights: %d -> %d", auctions, got)
+	}
+	if cur.GainEvaluations() != a.GainEvaluations() {
+		t.Errorf("GainEvaluations changed across reweight chain: %d -> %d",
+			a.GainEvaluations(), cur.GainEvaluations())
+	}
+}

@@ -50,13 +50,17 @@ func RunCampaign(a *core.Auction, r *rand.Rand) (CampaignResult, error) {
 	if err != nil {
 		return CampaignResult{}, err
 	}
+	payments, err := outcome.Payments(len(inst.Workers))
+	if err != nil {
+		return CampaignResult{}, fmt.Errorf("crowd: settlement: %w", err)
+	}
 	return CampaignResult{
 		Outcome:    outcome,
 		Truth:      truth,
 		Aggregated: aggregated,
 		Reports:    reports,
 		ErrorRate:  rate,
-		Payments:   outcome.Payments(len(inst.Workers)),
+		Payments:   payments,
 	}, nil
 }
 

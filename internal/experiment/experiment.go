@@ -18,6 +18,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/ilp"
 	"github.com/dphsrc/dphsrc/internal/plot"
 	"github.com/dphsrc/dphsrc/internal/stats"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
 	"github.com/dphsrc/dphsrc/internal/workload"
 )
 
@@ -50,10 +51,19 @@ type Config struct {
 	// "Optimal" baseline provable on modest hardware (the paper's
 	// GUROBI runs took up to 6139 s).
 	Scale float64
-	// Parallelism is the number of goroutines used to compute winner
-	// sets per auction construction (results are identical to
-	// sequential). Zero means GOMAXPROCS.
+	// Parallelism bounds the worker pool the runners fan sweep points
+	// and per-point instances out on, and the number of goroutines used
+	// to compute winner sets per auction construction. Results are
+	// byte-identical to sequential execution: every job's randomness is
+	// pre-derived from Seed in the sequential order and aggregation
+	// happens in index order. Zero means GOMAXPROCS; 1 forces the
+	// sequential path.
 	Parallelism int
+	// Telemetry, when non-nil, instruments the epsilon-sweep auction
+	// constructions and reweights (mcs_core_*). Instance generation and
+	// feasibility probing stay uninstrumented so the counters reflect
+	// the sweep itself.
+	Telemetry *telemetry.Registry
 }
 
 // withDefaults fills zero fields.
@@ -141,105 +151,121 @@ func generateFeasible(p workload.Params, r *rand.Rand) (core.Instance, *core.Auc
 	return core.Instance{}, nil, fmt.Errorf("%w: N=%d K=%d", ErrNoFeasibleInstance, p.N, p.K)
 }
 
-// sweepPoint aggregates one x-axis point of a payment sweep.
-type sweepPoint struct {
-	x                  float64
-	dpMean, dpStd      float64
-	baseMean, baseStd  float64
-	optPayment         float64
-	optProven, hasOpt  bool
-	optElapsed         time.Duration
-	dpElapsed          time.Duration
-	instancesAveraged  int
-	infeasibleInstance bool
+// instanceResult is the outcome of one (sweep point, instance) job: the
+// independent unit of work a payment sweep fans out on the pool.
+type instanceResult struct {
+	dpMean, dpStd     float64
+	baseMean, baseStd float64
+	optPayment        float64
+	optProven         bool
+	optElapsed        time.Duration
+	dpElapsed         time.Duration
+	err               error
 }
 
-// runSweepPoint evaluates DP-hSRC, the baseline, and optionally the
-// exact optimum on cfg.Instances fresh instances of the family.
-func runSweepPoint(p workload.Params, x float64, withOptimal bool, cfg Config, seeder *stats.Seeder) (sweepPoint, error) {
-	pt := sweepPoint{x: x}
-	var dpAcc, dpStdAcc, baseAcc, baseStdAcc, optAcc stats.Accumulator
-	optProven := true
-	for k := 0; k < cfg.Instances; k++ {
-		r := seeder.NewRand()
-		inst, dpAuction, err := generateFeasible(p, r)
-		if err != nil {
-			return pt, err
-		}
-
-		startDP := time.Now()
-		// Rebuild to time construction alone (generateFeasible already
-		// built one to check feasibility).
-		dpAuction, err = core.New(inst, core.WithParallelism(cfg.Parallelism))
-		if err != nil {
-			return pt, err
-		}
-		pt.dpElapsed += time.Since(startDP)
-
-		mean, std := paymentStats(dpAuction, cfg, r)
-		dpAcc.Add(mean)
-		dpStdAcc.Add(std)
-
-		baseAuction, err := core.New(inst, core.WithRule(core.RuleStatic), core.WithParallelism(cfg.Parallelism))
-		if err != nil {
-			return pt, err
-		}
-		bMean, bStd := paymentStats(baseAuction, cfg, r)
-		baseAcc.Add(bMean)
-		baseStdAcc.Add(bStd)
-
-		if withOptimal {
-			opt, err := ilp.Optimal(inst, ilp.Options{TimeBudget: cfg.OptimalBudget, TotalBudget: 4 * cfg.OptimalBudget})
-			if err != nil {
-				return pt, err
-			}
-			if !opt.Feasible {
-				return pt, fmt.Errorf("%w: optimal solver disagrees on feasibility", ErrNoFeasibleInstance)
-			}
-			optAcc.Add(opt.TotalPayment)
-			optProven = optProven && opt.Proven
-			pt.optElapsed += opt.Elapsed
-		}
-		pt.instancesAveraged++
+// runSweepInstance evaluates DP-hSRC, the baseline, and optionally the
+// exact optimum on one fresh instance of the family. The job is a pure
+// function of (params, cfg, seed), so the pool can run jobs in any
+// order and still reproduce the sequential sweep exactly.
+func runSweepInstance(p workload.Params, withOptimal bool, cfg Config, seed int64) instanceResult {
+	var res instanceResult
+	r := rand.New(rand.NewSource(seed))
+	inst, dpAuction, err := generateFeasible(p, r)
+	if err != nil {
+		res.err = err
+		return res
 	}
-	pt.dpMean, pt.dpStd = dpAcc.Mean(), dpStdAcc.Mean()
-	pt.baseMean, pt.baseStd = baseAcc.Mean(), baseStdAcc.Mean()
+
+	startDP := time.Now()
+	// Rebuild to time construction alone (generateFeasible already
+	// built one to check feasibility).
+	dpAuction, err = core.New(inst, core.WithParallelism(cfg.Parallelism))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.dpElapsed = time.Since(startDP)
+
+	res.dpMean, res.dpStd = paymentStats(dpAuction, cfg, r)
+
+	baseAuction, err := core.New(inst, core.WithRule(core.RuleStatic), core.WithParallelism(cfg.Parallelism))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.baseMean, res.baseStd = paymentStats(baseAuction, cfg, r)
+
 	if withOptimal {
-		pt.hasOpt = true
-		pt.optPayment = optAcc.Mean()
-		pt.optProven = optProven
+		opt, err := ilp.Optimal(inst, ilp.Options{TimeBudget: cfg.OptimalBudget, TotalBudget: 4 * cfg.OptimalBudget})
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if !opt.Feasible {
+			res.err = fmt.Errorf("%w: optimal solver disagrees on feasibility", ErrNoFeasibleInstance)
+			return res
+		}
+		res.optPayment = opt.TotalPayment
+		res.optProven = opt.Proven
+		res.optElapsed = opt.Elapsed
 	}
-	return pt, nil
+	return res
 }
 
-// paymentSweep runs a full figure sweep over the given x values.
+// paymentSweep runs a full figure sweep over the given x values,
+// fanning the (point, instance) jobs out on a bounded pool of
+// cfg.Parallelism workers. Seeds are pre-derived from cfg.Seed in the
+// sequential (point, instance) order and aggregation walks the same
+// order, so the result is byte-identical to the sequential sweep.
 func paymentSweep(id, title, xlabel string, xs []int, family func(int) workload.Params, withOptimal bool, cfg Config) (FigureResult, error) {
 	cfg = cfg.withDefaults()
 	seeder := stats.NewSeeder(cfg.Seed)
+	params := make([]workload.Params, len(xs))
+	seeds := make([]int64, len(xs)*cfg.Instances)
+	for pi := range xs {
+		params[pi] = family(xs[pi]).Scaled(cfg.Scale)
+		for k := 0; k < cfg.Instances; k++ {
+			seeds[pi*cfg.Instances+k] = seeder.Next()
+		}
+	}
+	results := make([]instanceResult, len(seeds))
+	runIndexed(len(seeds), cfg.Parallelism, func(i int) {
+		results[i] = runSweepInstance(params[i/cfg.Instances], withOptimal, cfg, seeds[i])
+	})
+
 	var (
 		dp, base, opt plot.Series
 		notes         []string
 	)
 	dp.Name, base.Name, opt.Name = "DP-hSRC Auction", "Baseline Auction", "Optimal"
 	unproven := 0
-	for _, x := range xs {
-		p := family(x).Scaled(cfg.Scale)
-		// The x value shown must match the scaled family: recover the
-		// effective N or K from the params.
-		pt, err := runSweepPoint(p, float64(x), withOptimal, cfg, seeder)
-		if err != nil {
-			return FigureResult{}, fmt.Errorf("experiment %s at x=%d: %w", id, x, err)
+	for pi, x := range xs {
+		var dpAcc, dpStdAcc, baseAcc, baseStdAcc, optAcc stats.Accumulator
+		optProven := true
+		for k := 0; k < cfg.Instances; k++ {
+			res := results[pi*cfg.Instances+k]
+			if res.err != nil {
+				return FigureResult{}, fmt.Errorf("experiment %s at x=%d: %w", id, x, res.err)
+			}
+			dpAcc.Add(res.dpMean)
+			dpStdAcc.Add(res.dpStd)
+			baseAcc.Add(res.baseMean)
+			baseStdAcc.Add(res.baseStd)
+			if withOptimal {
+				optAcc.Add(res.optPayment)
+				optProven = optProven && res.optProven
+			}
 		}
-		dp.X = append(dp.X, pt.x)
-		dp.Y = append(dp.Y, pt.dpMean)
-		dp.YErr = append(dp.YErr, pt.dpStd)
-		base.X = append(base.X, pt.x)
-		base.Y = append(base.Y, pt.baseMean)
-		base.YErr = append(base.YErr, pt.baseStd)
+		dp.X = append(dp.X, float64(x))
+		dp.Y = append(dp.Y, dpAcc.Mean())
+		dp.YErr = append(dp.YErr, dpStdAcc.Mean())
+		base.X = append(base.X, float64(x))
+		base.Y = append(base.Y, baseAcc.Mean())
+		base.YErr = append(base.YErr, baseStdAcc.Mean())
 		if withOptimal {
-			opt.X = append(opt.X, pt.x)
-			opt.Y = append(opt.Y, pt.optPayment)
-			if !pt.optProven {
+			opt.X = append(opt.X, float64(x))
+			opt.Y = append(opt.Y, optAcc.Mean())
+			if !optProven {
 				unproven++
 			}
 		}

@@ -1,0 +1,38 @@
+package experiment
+
+import "sync"
+
+// runIndexed runs fn(i) for every i in [0, n) on up to parallelism
+// goroutines. Callers keep determinism by pre-deriving any randomness
+// (stats.Seeder seeds drawn in the sequential order) and writing each
+// job's output into index-addressed storage, then aggregating in index
+// order after the pool drains — so results are byte-identical to the
+// sequential loop regardless of scheduling. Values of parallelism below
+// 2 run the plain loop.
+func runIndexed(n, parallelism int, fn func(int)) {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+package privacy
+
+import (
+	"fmt"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+)
+
+// LeakagePoint is one point of a privacy-budget sweep: the exact
+// leakage between two adjacent bid profiles at one epsilon, paired with
+// the payment the platform gives up for that privacy level.
+type LeakagePoint struct {
+	// Epsilon is the privacy budget the mechanisms were reweighted to.
+	Epsilon float64
+	// Leakage is the exact distinguishability of the two output
+	// distributions (Definition 8: KL, max-log-ratio, TV).
+	Leakage mechanism.Leakage
+	// ExpectedPayment is profile A's exact expected total payment at
+	// this epsilon — the cost side of the payment-privacy trade-off.
+	ExpectedPayment float64
+}
+
+// EpsilonSweep traces the payment-privacy trade-off between two
+// auctions built from adjacent bid profiles over the SAME fixed price
+// support (core.WithPriceSet; Algorithm 1 takes P as input). Winner
+// sets do not depend on epsilon, so each sweep point derives from the
+// two precomputed auctions by Auction.Reweight — construction is paid
+// once per profile, not once per epsilon. The returned points are in
+// the order of the given epsilons.
+func EpsilonSweep(a, b *core.Auction, epsilons []float64) ([]LeakagePoint, error) {
+	if a == nil || b == nil || len(epsilons) == 0 {
+		return nil, fmt.Errorf("%w: EpsilonSweep needs two auctions and at least one epsilon", ErrBadArgument)
+	}
+	out := make([]LeakagePoint, len(epsilons))
+	for i, eps := range epsilons {
+		ra, err := a.Reweight(eps)
+		if err != nil {
+			return nil, fmt.Errorf("privacy: reweighting profile A to eps=%v: %w", eps, err)
+		}
+		rb, err := b.Reweight(eps)
+		if err != nil {
+			return nil, fmt.Errorf("privacy: reweighting profile B to eps=%v: %w", eps, err)
+		}
+		leak, err := mechanism.MeasureLeakage(ra.Mechanism(), rb.Mechanism())
+		if err != nil {
+			return nil, fmt.Errorf("privacy: leakage at eps=%v: %w", eps, err)
+		}
+		out[i] = LeakagePoint{Epsilon: eps, Leakage: leak, ExpectedPayment: ra.ExpectedPayment()}
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+)
+
+// sweepInstance is a small hand-built instance for the sweep tests.
+func sweepInstance() core.Instance {
+	return core.Instance{
+		NumTasks:   3,
+		Thresholds: []float64{0.45, 0.45, 0.45},
+		Workers: []core.Worker{
+			{ID: "a", Bundle: []int{0, 1}, Bid: 10},
+			{ID: "b", Bundle: []int{1, 2}, Bid: 12},
+			{ID: "c", Bundle: []int{0, 2}, Bid: 14},
+			{ID: "d", Bundle: []int{0, 1, 2}, Bid: 20},
+		},
+		Skills: [][]float64{
+			{0.95, 0.95, 0.5},
+			{0.5, 0.95, 0.95},
+			{0.95, 0.5, 0.95},
+			{0.9, 0.9, 0.9},
+		},
+		Epsilon:   0.5,
+		CMin:      5,
+		CMax:      25,
+		PriceGrid: core.PriceGridRange(5, 25, 1),
+	}
+}
+
+func sweepPair(t *testing.T) (*core.Auction, *core.Auction, []float64) {
+	t.Helper()
+	instA := sweepInstance()
+	instB := sweepInstance()
+	instB.Workers[0].Bid = 24 // adjacent profile: one bid changes
+	support := core.PriceGridRange(15, 25, 1)
+	a, err := core.New(instA, core.WithPriceSet(support))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.New(instB, core.WithPriceSet(support))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, support
+}
+
+func TestEpsilonSweepMatchesFreshBuilds(t *testing.T) {
+	a, b, support := sweepPair(t)
+	epsilons := []float64{0.1, 0.5, 2, 10, 100}
+	points, err := EpsilonSweep(a, b, epsilons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(epsilons) {
+		t.Fatalf("got %d points, want %d", len(points), len(epsilons))
+	}
+	for i, pt := range points {
+		if pt.Epsilon != epsilons[i] {
+			t.Fatalf("point %d epsilon %v, want %v", i, pt.Epsilon, epsilons[i])
+		}
+		instA := sweepInstance()
+		instA.Epsilon = epsilons[i]
+		instB := sweepInstance()
+		instB.Workers[0].Bid = 24
+		instB.Epsilon = epsilons[i]
+		fa, err := core.New(instA, core.WithPriceSet(support))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := core.New(instB, core.WithPriceSet(support))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mechanism.MeasureLeakage(fa.Mechanism(), fb.Mechanism())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pt.Leakage.KL-want.KL) > 1e-12 ||
+			math.Abs(pt.Leakage.TV-want.TV) > 1e-12 ||
+			math.Abs(pt.Leakage.MaxLogRatio-want.MaxLogRatio) > 1e-12 {
+			t.Errorf("eps=%v: sweep leakage %+v, fresh-build leakage %+v", pt.Epsilon, pt.Leakage, want)
+		}
+		if math.Abs(pt.ExpectedPayment-fa.ExpectedPayment()) > 1e-12 {
+			t.Errorf("eps=%v: sweep payment %v, fresh %v", pt.Epsilon, pt.ExpectedPayment, fa.ExpectedPayment())
+		}
+		// Theorem 2: leakage respects the budget pointwise.
+		if pt.Leakage.MaxLogRatio > epsilons[i]+1e-9 {
+			t.Errorf("eps=%v: max log ratio %v exceeds budget", pt.Epsilon, pt.Leakage.MaxLogRatio)
+		}
+	}
+	// Trade-off endpoints: more budget, more leakage, less payment.
+	first, last := points[0], points[len(points)-1]
+	if first.Leakage.KL > last.Leakage.KL {
+		t.Errorf("leakage not increasing across sweep: %v -> %v", first.Leakage.KL, last.Leakage.KL)
+	}
+	if first.ExpectedPayment < last.ExpectedPayment {
+		t.Errorf("payment not decreasing across sweep: %v -> %v", first.ExpectedPayment, last.ExpectedPayment)
+	}
+}
+
+func TestEpsilonSweepArgumentValidation(t *testing.T) {
+	a, b, _ := sweepPair(t)
+	if _, err := EpsilonSweep(nil, b, []float64{1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil A: got %v", err)
+	}
+	if _, err := EpsilonSweep(a, nil, []float64{1}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil B: got %v", err)
+	}
+	if _, err := EpsilonSweep(a, b, nil); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("no epsilons: got %v", err)
+	}
+	if _, err := EpsilonSweep(a, b, []float64{1, -2}); !errors.Is(err, core.ErrBadEpsilon) {
+		t.Errorf("bad epsilon: got %v", err)
+	}
+}

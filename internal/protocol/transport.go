@@ -31,9 +31,11 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the doubled wait. Defaults to 2s.
 	MaxBackoff time.Duration
-	// Jitter in [0,1] shrinks each wait by a uniform fraction of up to
-	// itself, decorrelating the retry storm when a whole crowd loses
-	// the platform at once.
+	// Jitter in [0,1] spreads each wait uniformly over
+	// [d*(1-Jitter/2), d] (equal jitter): Jitter 1 yields waits in
+	// [d/2, d], decorrelating the retry storm when a whole crowd loses
+	// the platform at once while always keeping at least half of the
+	// exponential spacing.
 	Jitter float64
 	// Seed roots the jitter stream; 0 derives it from the worker ID so
 	// identical configurations back off identically across runs.
@@ -67,7 +69,12 @@ func (rp RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
 		if f > 1 {
 			f = 1
 		}
-		d = time.Duration(float64(d) * (1 - f*rng.Float64()))
+		// Equal jitter: subtract a uniform slice of at most half the
+		// (jitter-scaled) wait, so d lands in [d*(1-f/2), d]. The old
+		// full-range scaling (1 - f*rng.Float64()) could collapse every
+		// wait to the 1ms floor at Jitter 1, defeating the exponential
+		// spacing retries rely on under sustained faults.
+		d -= time.Duration(f * rng.Float64() * float64(d) / 2)
 	}
 	if d < time.Millisecond {
 		d = time.Millisecond
