@@ -33,14 +33,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dphsrc-bench", flag.ContinueOnError)
 	var (
-		runList = fs.String("run", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,fig5,table2 or all")
-		outDir  = fs.String("out", "results", "output directory")
-		seed    = fs.Int64("seed", 1, "root random seed")
-		scale   = fs.Float64("scale", 1.0, "instance size multiplier vs Table I (use <1 to keep exact solves provable)")
-		budget  = fs.Duration("budget", 10*time.Second, "wall-clock budget per exact TPM solve")
-		samples = fs.Int("samples", 0, "Monte-Carlo price samples per point (0 = exact PMF statistics)")
-		par     = fs.Int("parallelism", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); results are byte-identical either way")
-		list    = fs.Bool("list", false, "print the Table I simulation settings and exit")
+		runList  = fs.String("run", "all", "comma-separated experiments: fig1,fig2,fig3,fig4,fig5,table2 or all")
+		outDir   = fs.String("out", "results", "output directory")
+		seed     = fs.Int64("seed", 1, "root random seed")
+		scale    = fs.Float64("scale", 1.0, "instance size multiplier vs Table I (use <1 to keep exact solves provable)")
+		budget   = fs.Duration("budget", 10*time.Second, "wall-clock budget per exact TPM solve")
+		samples  = fs.Int("samples", 0, "Monte-Carlo price samples per point (0 = exact PMF statistics)")
+		par      = fs.Int("parallelism", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); results are byte-identical either way")
+		list     = fs.Bool("list", false, "print the Table I simulation settings and exit")
+		manifest = fs.String("manifest-out", "", "write a run-provenance manifest (JSON) hashing every produced file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +64,7 @@ func run(args []string) error {
 		want[strings.TrimSpace(name)] = true
 	}
 	all := want["all"]
+	var produced []string
 
 	type figRunner struct {
 		name string
@@ -87,6 +89,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: writing: %w", fr.name, err)
 		}
+		produced = append(produced, files...)
 		fmt.Printf("  done in %v -> %s\n", time.Since(start).Round(time.Millisecond), strings.Join(files, ", "))
 		for _, note := range res.Notes {
 			fmt.Printf("  note: %s\n", note)
@@ -104,6 +107,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("table2: writing: %w", err)
 		}
+		produced = append(produced, files...)
 		fmt.Printf("  done in %v -> %s\n", time.Since(start).Round(time.Millisecond), strings.Join(files, ", "))
 	}
 
@@ -118,7 +122,24 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("fig5: writing: %w", err)
 		}
+		produced = append(produced, files...)
 		fmt.Printf("  done in %v -> %s\n", time.Since(start).Round(time.Millisecond), strings.Join(files, ", "))
+	}
+
+	if *manifest != "" {
+		m := dphsrc.NewManifest("dphsrc-bench", dphsrc.TelemetryWallClock())
+		fs.VisitAll(func(f *flag.Flag) { m.SetConfig(f.Name, f.Value.String()) })
+		m.AddSeed("root", *seed)
+		for _, path := range produced {
+			if err := m.AddArtifact(path); err != nil {
+				return err
+			}
+		}
+		// Written last: every artifact hash above covers final bytes.
+		if err := m.WriteFile(*manifest); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		fmt.Printf("manifest -> %s (%d artifacts)\n", *manifest, len(produced))
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/dphsrc/dphsrc"
 )
 
 func TestRunList(t *testing.T) {
@@ -14,11 +16,13 @@ func TestRunList(t *testing.T) {
 
 func TestRunSmallFigure(t *testing.T) {
 	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "manifest.json")
 	err := run([]string{
 		"-run", "fig3",
 		"-out", dir,
 		"-scale", "0.06",
 		"-seed", "5",
+		"-manifest-out", manifestPath,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -26,6 +30,21 @@ func TestRunSmallFigure(t *testing.T) {
 	for _, f := range []string{"fig3.svg", "fig3.csv"} {
 		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
 			t.Errorf("%s missing or empty: %v", f, err)
+		}
+	}
+	m, err := dphsrc.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if len(m.Artifacts) == 0 {
+		t.Fatal("manifest hashed no artifacts")
+	}
+	if m.Config["scale"] != "0.06" || len(m.Seeds) == 0 || m.Seeds[0].Seed != 5 {
+		t.Errorf("manifest provenance incomplete: config=%v seeds=%+v", m.Config, m.Seeds)
+	}
+	for _, chk := range m.VerifyArtifacts("") {
+		if !chk.OK {
+			t.Errorf("artifact %s failed verification: %s", chk.Path, chk.Err)
 		}
 	}
 }

@@ -10,11 +10,19 @@
 //	mcs-bench -out BENCH_core.json        # also write the file `make bench` commits
 //	mcs-bench -suite experiment -out BENCH_experiment.json
 //	mcs-bench -suite experiment -baseline BENCH_experiment.json
+//	mcs-bench -suite experiment -events-out run.jsonl -manifest-out run.json
 //
 // With -baseline the fresh run is compared against the committed file
 // and the exit status is 1 when any cover/gain benchmark regresses by
 // more than 25% in ns/op (the `make bench-diff` gate; other benchmarks
 // are reported but do not gate).
+//
+// With -events-out / -manifest-out the run additionally performs an
+// audited epsilon sweep — one metered auction whose build, reweight and
+// budget.spend events stream into a redaction-safe JSONL file — and
+// writes a provenance manifest: resolved flags, seeds, epsilons, the
+// accountant's exact budget ledger, and a SHA-256 index over every
+// artifact the run produced. mcs-report renders the pair.
 package main
 
 import (
@@ -75,10 +83,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcs-bench", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "", "also write the JSON results to this file")
-		workers  = fs.Int("workers", 100, "workers in the benchmark instance (Table I Setting I)")
-		suite    = fs.String("suite", "core", "benchmark suite to run: core or experiment")
-		baseline = fs.String("baseline", "", "committed BENCH_*.json to diff against; exit 1 on >25% cover/gain regression")
+		out         = fs.String("out", "", "also write the JSON results to this file")
+		workers     = fs.Int("workers", 100, "workers in the benchmark instance (Table I Setting I)")
+		suite       = fs.String("suite", "core", "benchmark suite to run: core or experiment")
+		baseline    = fs.String("baseline", "", "committed BENCH_*.json to diff against; exit 1 on >25% cover/gain regression")
+		eventsOut   = fs.String("events-out", "", "write the audited sweep's structured event stream (JSONL) to this file")
+		manifestOut = fs.String("manifest-out", "", "write the run-provenance manifest (JSON) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,20 +146,96 @@ func run(args []string) error {
 	if err := enc.Encode(file); err != nil {
 		return err
 	}
-	if *out == "" {
-		return nil
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		fenc := json.NewEncoder(f)
+		fenc.SetIndent("", "  ")
+		if err := fenc.Encode(file); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	f, err := os.Create(*out)
+
+	if *eventsOut != "" || *manifestOut != "" {
+		if err := auditedSweep(fs, *workers, *out, *eventsOut, *manifestOut); err != nil {
+			return fmt.Errorf("audited sweep: %w", err)
+		}
+	}
+	return nil
+}
+
+// auditedSeed seeds the audited sweep's benchmark instance; it is
+// recorded in the manifest so the sweep is replayable from provenance
+// alone.
+const auditedSeed int64 = 1
+
+// auditedEpsilons are the privacy parameters the audited sweep meters,
+// one accountant debit per reweighted point.
+var auditedEpsilons = []float64{0.25, 1, 5, 45, 200, 1000}
+
+// auditedSweep runs the provenance pass: one instrumented auction whose
+// construction (core.build), per-epsilon reweights (core.reweight) and
+// budget debits (budget.spend) stream into a structured event log,
+// plus a manifest binding the resolved flags, seeds, epsilons, the
+// accountant's exact ledger and the SHA-256 of every artifact written.
+// The manifest goes last, after all artifact bytes are final.
+func auditedSweep(fs *flag.FlagSet, workers int, benchOut, eventsOut, manifestOut string) error {
+	ev := dphsrc.NewEventLogger()
+	inst, err := dphsrc.SettingI(workers).Generate(rand.New(rand.NewSource(auditedSeed)))
 	if err != nil {
 		return err
 	}
-	fenc := json.NewEncoder(f)
-	fenc.SetIndent("", "  ")
-	if err := fenc.Encode(file); err != nil {
-		_ = f.Close()
+	auction, err := dphsrc.New(inst, dphsrc.WithEventLog(ev))
+	if err != nil {
 		return err
 	}
-	return f.Close()
+
+	var budget float64
+	for _, eps := range auditedEpsilons {
+		budget += eps
+	}
+	acct, err := dphsrc.NewAccountant(budget)
+	if err != nil {
+		return err
+	}
+	acct.ObserveEvents(ev)
+	for _, eps := range auditedEpsilons {
+		if _, err := auction.Reweight(eps); err != nil {
+			return fmt.Errorf("reweight eps=%v: %w", eps, err)
+		}
+		if err := acct.Spend(eps); err != nil {
+			return fmt.Errorf("spend eps=%v: %w", eps, err)
+		}
+	}
+
+	if eventsOut != "" {
+		if err := ev.WriteFile(eventsOut); err != nil {
+			return err
+		}
+	}
+	if manifestOut == "" {
+		return nil
+	}
+	m := dphsrc.NewManifest("mcs-bench", dphsrc.TelemetryWallClock())
+	fs.VisitAll(func(f *flag.Flag) { m.SetConfig(f.Name, f.Value.String()) })
+	m.AddSeed("instance", auditedSeed)
+	m.AddEpsilons(auditedEpsilons...)
+	m.SetBudget(acct.Ledger())
+	for _, artifact := range []string{benchOut, eventsOut} {
+		if artifact == "" {
+			continue
+		}
+		if err := m.AddArtifact(artifact); err != nil {
+			return err
+		}
+	}
+	return m.WriteFile(manifestOut)
 }
 
 // diffAgainstBaseline compares the fresh run against the committed file
@@ -257,6 +343,21 @@ func coreBenches(workers int) ([]namedBench, error) {
 			for i := 0; i < b.N; i++ {
 				start := liveReg.Now()
 				h.Observe(liveReg.Since(start))
+			}
+		}},
+		// The evlog pair extends the nil-is-nop contract to structured
+		// events: a nil logger must keep instrumented hot paths at
+		// 0 allocs/op (asserted by the tests here and in evlog itself).
+		{"EvlogEventNop", func(b *testing.B) {
+			var nopEv *dphsrc.EventLogger
+			for i := 0; i < b.N; i++ {
+				nopEv.Info("bench.tick", dphsrc.EventInt("i", i), dphsrc.EventRedacted("bid"))
+			}
+		}},
+		{"EvlogEventLive", func(b *testing.B) {
+			liveEv := dphsrc.NewEventLogger()
+			for i := 0; i < b.N; i++ {
+				liveEv.Info("bench.tick", dphsrc.EventInt("i", i), dphsrc.EventRedacted("bid"))
 			}
 		}},
 	}, nil

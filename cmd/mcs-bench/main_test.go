@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/dphsrc/dphsrc"
 )
 
 func TestRunBadFlag(t *testing.T) {
@@ -42,8 +44,8 @@ func TestRunWritesParseableJSON(t *testing.T) {
 		byName[b.Name] = b
 	}
 	// The telemetry contract, end to end: the nop side of each pair
-	// allocates nothing.
-	for _, name := range []string{"TelemetryCounterIncNop", "TelemetryTimedSectionNop"} {
+	// allocates nothing — including the structured event logger.
+	for _, name := range []string{"TelemetryCounterIncNop", "TelemetryTimedSectionNop", "EvlogEventNop"} {
 		b, ok := byName[name]
 		if !ok {
 			t.Fatalf("benchmark %s missing from output", name)
@@ -54,5 +56,96 @@ func TestRunWritesParseableJSON(t *testing.T) {
 	}
 	if _, ok := byName["AuctionNewInstrumented"]; !ok {
 		t.Error("instrumented auction benchmark missing")
+	}
+}
+
+// TestAuditedSweepProvenance is the provenance acceptance test: the
+// audited pass must leave a manifest whose artifact hashes match the
+// bytes on disk and whose budget ledger agrees *exactly* — bit for bit,
+// not approximately — with the fold of the emitted budget.spend events.
+func TestAuditedSweepProvenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark pass in -short mode")
+	}
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	err := run([]string{
+		"-suite", "experiment", "-workers", "60",
+		"-out", benchPath,
+		"-events-out", eventsPath, "-manifest-out", manifestPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := dphsrc.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+
+	// Every artifact the manifest names must hash to what is on disk.
+	checks := m.VerifyArtifacts("")
+	if len(checks) != 2 {
+		t.Fatalf("manifest lists %d artifacts, want bench JSON + events", len(checks))
+	}
+	for _, chk := range checks {
+		if !chk.OK {
+			t.Errorf("artifact %s failed verification: %s", chk.Path, chk.Err)
+		}
+	}
+
+	// The folded event stream and the manifest's accountant snapshot
+	// are two records of the same float additions in the same order.
+	events, err := dphsrc.ReadEventsFile(eventsPath)
+	if err != nil {
+		t.Fatalf("events stream invalid: %v", err)
+	}
+	led, err := dphsrc.FoldBudget(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Budget == nil {
+		t.Fatal("manifest missing budget ledger")
+	}
+	if led.CumulativeEpsilon != m.Budget.Spent {
+		t.Errorf("folded cumulative epsilon %v != manifest spent %v (must be exact)", led.CumulativeEpsilon, m.Budget.Spent)
+	}
+	if led.FinalSpent != m.Budget.Spent {
+		t.Errorf("ledger final spent %v != manifest spent %v", led.FinalSpent, m.Budget.Spent)
+	}
+	if led.Total != m.Budget.Total {
+		t.Errorf("ledger total %v != manifest total %v", led.Total, m.Budget.Total)
+	}
+	if int64(led.Releases) != m.Budget.Releases || led.Refusals != 0 {
+		t.Errorf("ledger %d releases / %d refusals, manifest %d / %d",
+			led.Releases, led.Refusals, m.Budget.Releases, m.Budget.Refusals)
+	}
+	if len(m.Epsilons) != led.Releases {
+		t.Errorf("%d manifest epsilons for %d metered releases", len(m.Epsilons), led.Releases)
+	}
+
+	// Shared-vs-rebuilt provenance: one construction, then one reweight
+	// per epsilon.
+	builds, reweights := 0, 0
+	for _, e := range events {
+		switch e.Name {
+		case "core.build":
+			builds++
+		case "core.reweight":
+			reweights++
+		}
+	}
+	if builds != 1 || reweights != len(m.Epsilons) {
+		t.Errorf("%d core.build / %d core.reweight events, want 1 / %d", builds, reweights, len(m.Epsilons))
+	}
+
+	// Replayability: the manifest pins the resolved flags and seeds.
+	if m.Config["suite"] != "experiment" || m.Config["workers"] != "60" {
+		t.Errorf("manifest config missing resolved flags: %v", m.Config)
+	}
+	if len(m.Seeds) == 0 || m.Seeds[0].Seed != 1 {
+		t.Errorf("manifest seeds = %+v, want instance seed 1", m.Seeds)
 	}
 }

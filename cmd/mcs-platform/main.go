@@ -10,6 +10,11 @@
 // Worker skill records are simulated from a per-worker seeded hash (a
 // stand-in for the historical skill store the paper assumes the
 // platform maintains; see DESIGN.md).
+//
+// Operational logging is the structured event stream (JSONL on
+// stderr); -events-out additionally persists it, and -manifest-out
+// writes a run-provenance manifest whose artifact index content-hashes
+// every file the run produced.
 package main
 
 import (
@@ -18,13 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"github.com/dphsrc/dphsrc"
@@ -40,25 +45,37 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mcs-platform", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:7788", "listen address")
-		tasks      = fs.Int("tasks", 8, "number of binary classification tasks")
-		delta      = fs.Float64("delta", 0.3, "per-task aggregation error threshold")
-		eps        = fs.Float64("eps", 0.5, "differential privacy budget")
-		cmin       = fs.Float64("cmin", 5, "minimum worker cost")
-		cmax       = fs.Float64("cmax", 30, "maximum worker cost")
-		window     = fs.Duration("window", 15*time.Second, "bid collection window")
-		minWorkers = fs.Int("min-workers", 0, "close the window early after this many bids (0 = wait out the window)")
-		quorum     = fs.Int("quorum", 1, "minimum accepted bids to run the auction (fewer fails the round typed, spending no budget)")
-		ioTimeout  = fs.Duration("io-timeout", 10*time.Second, "per-message exchange deadline")
-		seed       = fs.Int64("seed", 0, "mechanism seed (0 = from clock)")
-		skillLo    = fs.Float64("skill-lo", 0.75, "lower bound of simulated historical skills")
-		skillHi    = fs.Float64("skill-hi", 0.95, "upper bound of simulated historical skills")
-		metricsAdr = fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address (empty = disabled)")
-		traceOut   = fs.String("trace-out", "", "write the round's span tree as JSON to this file (empty = disabled)")
+		addr        = fs.String("addr", "127.0.0.1:7788", "listen address")
+		tasks       = fs.Int("tasks", 8, "number of binary classification tasks")
+		delta       = fs.Float64("delta", 0.3, "per-task aggregation error threshold")
+		eps         = fs.Float64("eps", 0.5, "differential privacy budget")
+		cmin        = fs.Float64("cmin", 5, "minimum worker cost")
+		cmax        = fs.Float64("cmax", 30, "maximum worker cost")
+		window      = fs.Duration("window", 15*time.Second, "bid collection window")
+		minWorkers  = fs.Int("min-workers", 0, "close the window early after this many bids (0 = wait out the window)")
+		quorum      = fs.Int("quorum", 1, "minimum accepted bids to run the auction (fewer fails the round typed, spending no budget)")
+		ioTimeout   = fs.Duration("io-timeout", 10*time.Second, "per-message exchange deadline")
+		seed        = fs.Int64("seed", 0, "mechanism seed (0 = from clock)")
+		skillLo     = fs.Float64("skill-lo", 0.75, "lower bound of simulated historical skills")
+		skillHi     = fs.Float64("skill-hi", 0.95, "upper bound of simulated historical skills")
+		metricsAdr  = fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address (empty = disabled)")
+		traceOut    = fs.String("trace-out", "", "write the round's span tree as JSON to this file (empty = disabled)")
+		eventsOut   = fs.String("events-out", "", "write the structured event stream as JSONL to this file (empty = stderr only)")
+		manifestOut = fs.String("manifest-out", "", "write a run-provenance manifest (config, seed, artifact hashes) to this file (empty = disabled)")
+		quiet       = fs.Bool("quiet", false, "suppress the event stream on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// The event logger is the daemon's only log: every operational line
+	// is a structured, redaction-typed event. By default it streams
+	// JSONL to stderr; -events-out persists the same stream to a file.
+	var evOpts []dphsrc.EventLoggerOption
+	if !*quiet {
+		evOpts = append(evOpts, dphsrc.WithEventSink(os.Stderr))
+	}
+	ev := dphsrc.NewEventLogger(evOpts...)
 
 	var (
 		reg    *dphsrc.TelemetryRegistry
@@ -66,7 +83,7 @@ func run(args []string) error {
 	)
 	if *metricsAdr != "" {
 		reg = dphsrc.NewTelemetryRegistry()
-		_, closeSrv, err := startTelemetryServer(*metricsAdr, reg)
+		_, closeSrv, err := startTelemetryServer(*metricsAdr, reg, ev)
 		if err != nil {
 			return err
 		}
@@ -96,7 +113,7 @@ func run(args []string) error {
 		Quorum:     *quorum,
 		IOTimeout:  *ioTimeout,
 		Seed:       *seed,
-		Logger:     log.New(os.Stderr, "platform ", log.LstdFlags),
+		Events:     ev,
 		Telemetry:  reg,
 		Tracer:     tracer,
 	}
@@ -110,7 +127,10 @@ func run(args []string) error {
 		return err
 	}
 	defer func() { _ = ln.Close() }() // exit path; RunRound already returned
-	log.Printf("platform listening on %s; announcing %d tasks for %v", ln.Addr(), *tasks, *window)
+	ev.Info("platform.listening",
+		dphsrc.EventString("addr", ln.Addr().String()),
+		dphsrc.EventInt("tasks", *tasks),
+		dphsrc.EventSeconds("window", *window))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -119,14 +139,27 @@ func run(args []string) error {
 		// Export whatever spans the round produced, even when it fails.
 		defer func() {
 			if err := writeTrace(*traceOut, tracer); err != nil {
-				log.Printf("writing trace: %v", err)
+				ev.Error("trace.write_failed", dphsrc.EventString("error", err.Error()))
 			}
 		}()
 	}
 
-	report, err := platform.RunRound(ctx, ln)
-	if err != nil {
-		return err
+	report, roundErr := platform.RunRound(ctx, ln)
+
+	// Persist the event stream and manifest even for failed rounds: a
+	// failed run's provenance is exactly what the operator wants.
+	if *eventsOut != "" {
+		if err := ev.WriteFile(*eventsOut); err != nil {
+			return fmt.Errorf("writing events: %w", err)
+		}
+	}
+	if *manifestOut != "" {
+		if err := writeManifest(*manifestOut, fs, platform, reg, *eventsOut, *traceOut, roundErr); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+	}
+	if roundErr != nil {
+		return roundErr
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -142,12 +175,41 @@ func run(args []string) error {
 	})
 }
 
+// writeManifest records the run's provenance: the effective flag
+// configuration, the resolved mechanism seed, the epsilon, and a
+// content-hash index over the artifacts the run produced. The manifest
+// is written last so every artifact hash is final.
+func writeManifest(path string, fs *flag.FlagSet, platform *dphsrc.Platform,
+	reg *dphsrc.TelemetryRegistry, eventsOut, traceOut string, roundErr error) error {
+	m := dphsrc.NewManifest("mcs-platform", dphsrc.TelemetryWallClock())
+	fs.VisitAll(func(f *flag.Flag) {
+		m.SetConfig(f.Name, f.Value.String())
+	})
+	if roundErr != nil {
+		m.SetConfig("round_error", roundErr.Error())
+	}
+	m.AddSeed("mechanism", platform.Seed())
+	if eps, err := strconv.ParseFloat(fs.Lookup("eps").Value.String(), 64); err == nil {
+		m.AddEpsilons(eps)
+	}
+	for _, artifact := range []string{eventsOut, traceOut} {
+		if artifact == "" {
+			continue
+		}
+		if err := m.AddArtifact(artifact); err != nil {
+			return err
+		}
+	}
+	_ = reg // metrics are scrape-only; no artifact to hash
+	return m.WriteFile(path)
+}
+
 // startTelemetryServer serves the registry's Prometheus text exposition
 // at /metrics and the standard pprof profiles under /debug/pprof/ on
 // addr. It listens synchronously so a bad address fails the command
 // instead of dying inside a background goroutine; the returned func
-// shuts the server down.
-func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry) (string, func(), error) {
+// shuts the server down gracefully, letting in-flight scrapes finish.
+func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry, ev *dphsrc.EventLogger) (string, func(), error) {
 	tln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry listener: %w", err)
@@ -156,7 +218,7 @@ func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry) (string, f
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
-			log.Printf("metrics scrape: %v", err)
+			ev.Warn("telemetry.scrape_failed", dphsrc.EventString("error", err.Error()))
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -167,11 +229,19 @@ func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry) (string, f
 	srv := &http.Server{Handler: mux}
 	go func() {
 		if err := srv.Serve(tln); err != nil && err != http.ErrServerClosed {
-			log.Printf("telemetry server: %v", err)
+			ev.Error("telemetry.server_error", dphsrc.EventString("error", err.Error()))
 		}
 	}()
-	log.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)", tln.Addr())
-	return tln.Addr().String(), func() { _ = srv.Close() }, nil
+	ev.Info("telemetry.serving", dphsrc.EventString("addr", tln.Addr().String()))
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Graceful drain expired; force-close the stragglers.
+			_ = srv.Close()
+		}
+	}
+	return tln.Addr().String(), shutdown, nil
 }
 
 // writeTrace exports the tracer's span tree as indented JSON to path.

@@ -54,7 +54,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestTelemetryServerServesMetricsAndPprof(t *testing.T) {
 	reg := dphsrc.NewTelemetryRegistry()
 	reg.Counter("mcs_smoke_total", "Smoke counter.").Add(3)
-	addr, closeSrv, err := startTelemetryServer("127.0.0.1:0", reg)
+	addr, closeSrv, err := startTelemetryServer("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,6 +70,54 @@ func TestTelemetryServerServesMetricsAndPprof(t *testing.T) {
 	}
 	if body := httpGet(t, client, "http://"+addr+"/debug/pprof/cmdline"); body == "" {
 		t.Error("pprof cmdline endpoint returned nothing")
+	}
+}
+
+// TestEventsAndManifestSurviveDegradedRound runs a round that degrades
+// (no bids inside a 50ms window) and asserts the provenance outputs are
+// still written: the event stream parses, records the degradation, and
+// the manifest's artifact hash over the events file matches disk.
+func TestEventsAndManifestSurviveDegradedRound(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	manifestPath := filepath.Join(dir, "manifest.json")
+	err := run([]string{
+		"-addr", "127.0.0.1:0", "-window", "50ms", "-quiet",
+		"-seed", "7",
+		"-events-out", eventsPath, "-manifest-out", manifestPath,
+	})
+	if err == nil {
+		t.Fatal("round with no workers should degrade")
+	}
+
+	events, err := dphsrc.ReadEventsFile(eventsPath)
+	if err != nil {
+		t.Fatalf("events stream invalid: %v", err)
+	}
+	byName := make(map[string]int)
+	for _, e := range events {
+		byName[e.Name]++
+	}
+	for _, want := range []string{"platform.seed", "platform.listening", "round.start", "round.degraded"} {
+		if byName[want] == 0 {
+			t.Errorf("event stream missing %q (got %v)", want, byName)
+		}
+	}
+
+	m, err := dphsrc.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if len(m.Seeds) == 0 || m.Seeds[0].Seed != 7 {
+		t.Errorf("manifest seeds = %+v, want mechanism seed 7", m.Seeds)
+	}
+	if m.Config["round_error"] == "" {
+		t.Error("manifest missing round_error for a degraded round")
+	}
+	for _, chk := range m.VerifyArtifacts(dir) {
+		if !chk.OK {
+			t.Errorf("artifact %s failed verification: %v", chk.Path, chk.Err)
+		}
 	}
 }
 

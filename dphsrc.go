@@ -45,6 +45,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/protocol"
 	"github.com/dphsrc/dphsrc/internal/stats"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 	"github.com/dphsrc/dphsrc/internal/workload"
 )
 
@@ -435,3 +436,102 @@ var TelemetryWallClock = telemetry.WallClock
 
 // NewManualClock returns a ManualClock starting at the given instant.
 var NewManualClock = telemetry.NewManualClock
+
+// Structured event logging (internal/telemetry/evlog): the module's
+// redaction-safe JSONL event stream. The field API admits bid-typed
+// values only through EventRedacted/EventAggregate wrappers, so the
+// log cannot leak DP-protected inputs; a nil *EventLogger is fully
+// usable and records nothing at zero cost.
+type (
+	// EventLogger collects leveled structured events into a bounded
+	// in-memory buffer, optionally writing through to a sink.
+	EventLogger = evlog.Logger
+	// EventLoggerOption configures NewEventLogger.
+	EventLoggerOption = evlog.Option
+	// EventLevel is an event severity (debug, info, warn, error).
+	EventLevel = evlog.Level
+	// EventField is one key/value pair of an event.
+	EventField = evlog.Field
+	// Event is one decoded event of the JSONL stream.
+	Event = evlog.Event
+	// BudgetLedger is the privacy-budget audit trail folded from a
+	// stream's budget.spend / budget.refuse events.
+	BudgetLedger = evlog.BudgetLedger
+)
+
+// Event severities.
+const (
+	EventLevelDebug = evlog.LevelDebug
+	EventLevelInfo  = evlog.LevelInfo
+	EventLevelWarn  = evlog.LevelWarn
+	EventLevelError = evlog.LevelError
+)
+
+// NewEventLogger returns a live event logger.
+var NewEventLogger = evlog.New
+
+// Event logger options.
+var (
+	// WithEventSink streams every rendered event line to a writer as it
+	// is logged.
+	WithEventSink = evlog.WithSink
+	// WithEventMinLevel drops events below the given severity.
+	WithEventMinLevel = evlog.WithMinLevel
+	// WithEventClock injects the logger's time source.
+	WithEventClock = evlog.WithClock
+)
+
+// WithEventLog streams the auction core's construction events (build,
+// cover, reweight) into an event logger; nil disables at zero cost.
+func WithEventLog(lg *EventLogger) Option { return core.WithEventLog(lg) }
+
+// Event field constructors. EventRedacted marks a DP-protected value's
+// presence without its value; EventAggregate carries a sanctioned DP
+// release (a mechanism output such as the clearing price). There is
+// deliberately no constructor that accepts an arbitrary value: the
+// typed set is the redaction policy.
+var (
+	EventString    = evlog.String
+	EventInt       = evlog.Int
+	EventInt64     = evlog.Int64
+	EventFloat     = evlog.Float
+	EventBool      = evlog.Bool
+	EventSeconds   = evlog.Seconds
+	EventRedacted  = evlog.Redacted
+	EventAggregate = evlog.Aggregate
+)
+
+// ReadEvents decodes and validates a JSONL event stream; ReadEventsFile
+// reads one from disk.
+var (
+	ReadEvents     = evlog.ReadJSONL
+	ReadEventsFile = evlog.ReadFile
+)
+
+// FoldBudget replays a stream's budget events into a BudgetLedger,
+// cross-checkable against the accountant's totals.
+var FoldBudget = evlog.FoldBudget
+
+// Run provenance (internal/telemetry): a manifest records everything
+// needed to attribute and replay a run — config, seeds, epsilons,
+// toolchain, VCS revision, and a content-hash index of the artifacts
+// the run produced.
+type (
+	// Manifest is one run's provenance record.
+	Manifest = telemetry.Manifest
+	// ManifestSeed is one named RNG seed of a run.
+	ManifestSeed = telemetry.ManifestSeed
+	// ManifestArtifact is one produced file with its SHA-256.
+	ManifestArtifact = telemetry.ManifestArtifact
+	// ManifestBudget snapshots the privacy accountant at run end.
+	ManifestBudget = telemetry.ManifestBudget
+	// ArtifactCheck is one artifact's verification result.
+	ArtifactCheck = telemetry.ArtifactCheck
+)
+
+// NewManifest starts a manifest for the named command, stamping
+// toolchain and VCS provenance; ReadManifest decodes and validates one.
+var (
+	NewManifest  = telemetry.NewManifest
+	ReadManifest = telemetry.ReadManifest
+)

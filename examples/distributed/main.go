@@ -68,7 +68,7 @@ func run() error {
 		BidWindow:  5 * time.Second,
 		MinWorkers: numWorkers,
 		Seed:       3,
-		Logger:     log.New(os.Stderr, "platform ", 0),
+		Events:     dphsrc.NewEventLogger(dphsrc.WithEventSink(os.Stderr)),
 	})
 	if err != nil {
 		return fmt.Errorf("platform: %w", err)

@@ -7,10 +7,12 @@
 //     and the solvers) must be byte-reproducible given a seed, so
 //     global math/rand state, wall-clock reads and map-iteration-order
 //     dependent output are forbidden there.
-//   - dp-leak (MCS-DPL001..002): a worker's bid is the epsilon-DP
+//   - dp-leak (MCS-DPL001..003): a worker's bid is the epsilon-DP
 //     protected secret. Bid/cost values must not flow into prints,
 //     logs, or wire-message constructors outside the sanctioned
-//     bid-submission and payment-announcement paths.
+//     bid-submission and payment-announcement paths; in the protocol
+//     and command-line layers the redaction-safe evlog logger is the
+//     only sanctioned sink, and direct stdlib log use is flagged.
 //   - float-safety (MCS-FLT001..003): the mechanism's correctness
 //     lives in log-space floating point; float equality and raw
 //     exponentiation of score differences outside the log-space

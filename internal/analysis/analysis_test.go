@@ -22,6 +22,7 @@ var fixtures = []struct {
 	{"detbad", "fixtures/internal/core/detbad"},
 	{"detgood", "fixtures/internal/core/detgood"},
 	{"leakbad", "fixtures/internal/protocol/leakbad"},
+	{"logbad", "fixtures/internal/protocol/logbad"},
 	{"floatbad", "fixtures/internal/stats/floatbad"},
 	{"errbad", "fixtures/internal/protocol/errbad"},
 	{"allowme", "fixtures/internal/core/allowme"},
@@ -104,6 +105,13 @@ func TestPolicyResolve(t *testing.T) {
 		{"github.com/dphsrc/dphsrc/internal/mechanism", CodeRawExp, false}, // log-space home
 		{"github.com/dphsrc/dphsrc/internal/mechanism", CodeFloatEq, true},
 		{"github.com/dphsrc/dphsrc/internal/protocol", CodeLeakMessage, true},
+		// evlog as the only sanctioned sink: DPL003 covers the protocol
+		// and command-line layers, but not examples (pedagogical stdlib
+		// log stays legal there) or the deterministic core.
+		{"github.com/dphsrc/dphsrc/internal/protocol", CodeLogUse, true},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-platform", CodeLogUse, true},
+		{"github.com/dphsrc/dphsrc/examples/quickstart", CodeLogUse, false},
+		{"github.com/dphsrc/dphsrc/internal/core", CodeLogUse, false},
 		{"github.com/dphsrc/dphsrc/internal/faultnet", CodeUncheckedWrite, true},
 		{"github.com/dphsrc/dphsrc/internal/faultnet", CodeLeakSink, false},
 		{"github.com/dphsrc/dphsrc/cmd/mcs-platform", CodeUncheckedClose, true},

@@ -18,6 +18,18 @@ import (
 //     composite literal (policy MessageTypes) outside the sanctioned
 //     bid-submission / payment-announcement functions
 //     (policy AllowedLeakFuncs).
+//   - MCS-DPL003: any direct use of the standard library log package
+//     (package-level log.* calls or *log.Logger methods) in packages
+//     where the evlog structured logger is the sanctioned sink. evlog
+//     is redaction-safe by construction — its field API forces
+//     bid-typed values through Redacted/Aggregate — so unstructured
+//     stdlib logging there is a policy violation even when no tainted
+//     value is in sight.
+//
+// The evlog package itself is the sanctioned sink: its Logger methods
+// are never MCS-DPL001 sinks, but its plain field constructors
+// (String/Int/Int64/Float/Bool/Seconds) are — a tainted value must
+// arrive wrapped in evlog.Redacted or evlog.Aggregate instead.
 //
 // The taint step is one-level and flow-insensitive by design: it
 // follows `x := w.Bid` style assignments to a fixpoint inside a single
@@ -28,13 +40,17 @@ import (
 func DPLeakAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:  "dp-leak",
-		Codes: []string{CodeLeakSink, CodeLeakMessage},
+		Codes: []string{CodeLeakSink, CodeLeakMessage, CodeLogUse},
 		Run:   runDPLeak,
 	}
 }
 
+// evlogPath is the sanctioned redaction-safe structured-log sink.
+const evlogPath = "github.com/dphsrc/dphsrc/internal/telemetry/evlog"
+
 func runDPLeak(p *Pass) {
 	for _, file := range p.Files {
+		p.logUseCheck(file)
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -43,6 +59,28 @@ func runDPLeak(p *Pass) {
 			p.leakCheckFunc(fd)
 		}
 	}
+}
+
+// logUseCheck flags every direct call into the standard library log
+// package — package-level log.* functions (including log.New) and
+// *log.Logger methods — as MCS-DPL003 where that code is enabled.
+func (p *Pass) logUseCheck(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := p.pkgFuncCall(call, "log"); ok {
+			p.Reportf(call.Pos(), CodeLogUse,
+				"direct log.%s call; evlog is the sanctioned logging sink here", name)
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isStdLogLogger(p.Info.TypeOf(sel.X)) {
+			p.Reportf(call.Pos(), CodeLogUse,
+				"log.Logger.%s call; evlog is the sanctioned logging sink here", sel.Sel.Name)
+		}
+		return true
+	})
 }
 
 func (p *Pass) leakCheckFunc(fd *ast.FuncDecl) {
@@ -71,6 +109,34 @@ func (p *Pass) leakCheckFunc(fd *ast.FuncDecl) {
 		return found
 	}
 
+	// containsUnsanitized is contains with the evlog sanitizer wrappers
+	// pruned: a value inside an evlog.Redacted/evlog.Aggregate call has
+	// been laundered and does not taint the enclosing expression.
+	containsUnsanitized := func(expr ast.Expr) bool {
+		found := false
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := p.pkgFuncCall(node, evlogPath); ok && (name == "Redacted" || name == "Aggregate") {
+					return false
+				}
+			case *ast.SelectorExpr:
+				if p.sensitiveSelector(node) {
+					found = true
+				}
+			case *ast.Ident:
+				if obj := p.Info.ObjectOf(node); obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
@@ -79,6 +145,15 @@ func (p *Pass) leakCheckFunc(fd *ast.FuncDecl) {
 					if contains(arg) {
 						p.Reportf(arg.Pos(), CodeLeakSink,
 							"bid/cost value reaches %s; protected values must never be printed or logged", sinkName)
+						break
+					}
+				}
+			}
+			if name, ok := p.evlogFieldSink(node); ok {
+				for _, arg := range node.Args {
+					if containsUnsanitized(arg) {
+						p.Reportf(arg.Pos(), CodeLeakSink,
+							"bid/cost value reaches evlog.%s; wrap protected values in evlog.Redacted or evlog.Aggregate", name)
 						break
 					}
 				}
@@ -192,9 +267,11 @@ func (p *Pass) printSink(call *ast.CallExpr) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	// *log.Logger methods.
-	if baseTypeName(p.Info.TypeOf(sel.X)) == "Logger" {
-		return "Logger." + sel.Sel.Name, true
+	// *log.Logger methods — path-qualified to the standard library so
+	// the sanctioned evlog.Logger (and any other type merely named
+	// "Logger") is not mistaken for a leak sink.
+	if isStdLogLogger(p.Info.TypeOf(sel.X)) {
+		return "log.Logger." + sel.Sel.Name, true
 	}
 	// Direct os.Stdout / os.Stderr writes.
 	if inner, ok := sel.X.(*ast.SelectorExpr); ok {
@@ -207,4 +284,41 @@ func (p *Pass) printSink(call *ast.CallExpr) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// evlogFieldSink classifies call as one of evlog's plain field
+// constructors: the points where a raw value enters the structured
+// event stream. Redacted and Aggregate are deliberately excluded —
+// they are the sanctioned carriers for protected values.
+func (p *Pass) evlogFieldSink(call *ast.CallExpr) (string, bool) {
+	name, ok := p.pkgFuncCall(call, evlogPath)
+	if !ok {
+		return "", false
+	}
+	switch name {
+	case "String", "Int", "Int64", "Float", "Bool", "Seconds":
+		return name, true
+	}
+	return "", false
+}
+
+// isStdLogLogger reports whether t is (a pointer to) a named type
+// declared in the standard library log package, i.e. log.Logger.
+func isStdLogLogger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	var obj *types.TypeName
+	switch tt := t.(type) {
+	case *types.Named:
+		obj = tt.Obj()
+	case *types.Alias:
+		obj = tt.Obj()
+	default:
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Path() == "log"
 }

@@ -12,6 +12,7 @@ const (
 	// dp-leak
 	CodeLeakSink    = "MCS-DPL001" // bid/cost value reaches a print/log sink
 	CodeLeakMessage = "MCS-DPL002" // bid/cost value placed in a wire message outside the sanctioned path
+	CodeLogUse      = "MCS-DPL003" // direct stdlib log use where evlog is the sanctioned sink
 	// float-safety
 	CodeFloatEq  = "MCS-FLT001" // ==/!= on floating-point operands
 	CodeRawExp   = "MCS-FLT002" // math.Exp of a difference outside the log-space helpers
@@ -147,10 +148,11 @@ func (p *Policy) IsMessageType(typeName string) bool {
 //	internal/crowd           —     —        FLT all    —
 //	internal/privacy         —     DPL001   FLT all    —
 //	internal/experiment      DET003 —       FLT001     —          (report emission must be order-stable)
-//	internal/protocol        —     ✓        FLT001     ✓
+//	internal/protocol        —     ✓+DPL003 FLT001     ✓          (evlog is the only sanctioned log sink)
 //	internal/faultnet        —     —        —          ✓
 //	internal/telemetry       ✓     —        FLT001     ✓          (clock injection enforced, not blanket-allowed)
-//	cmd/*, examples/*        —     DPL001   —          ✓
+//	cmd/*                    —     DPL all  —          ✓          (evlog is the only sanctioned log sink)
+//	examples/*               —     DPL001-2 —          ✓
 func DefaultPolicy() *Policy {
 	det := []string{CodeGlobalRand, CodeWallClock, CodeMapOrder}
 	floats := []string{CodeFloatEq, CodeRawExp, CodeExpAccum}
@@ -167,7 +169,7 @@ func DefaultPolicy() *Policy {
 			{Match: "internal/experiment", Enable: []string{CodeMapOrder, CodeFloatEq}},
 			{
 				Match:  "internal/protocol",
-				Enable: append([]string{CodeLeakSink, CodeLeakMessage, CodeFloatEq}, errs...),
+				Enable: append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse, CodeFloatEq}, errs...),
 				// participateOnce is the worker's sealed-bid submission:
 				// the one place the bid legitimately enters a wire frame.
 				AllowedLeakFuncs: []string{"participateOnce"},
@@ -178,7 +180,11 @@ func DefaultPolicy() *Policy {
 			// single sanctioned time.Now() annotated at its definition —
 			// determinism is enforced here, not blanket-allowed.
 			{Match: "internal/telemetry", Enable: append(append([]string{CodeFloatEq}, det...), errs...)},
-			{Match: "cmd", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
+			// The command-line layer writes structured provenance
+			// streams, so unstructured stdlib logging is banned there
+			// alongside the taint checks; examples keep stdlib log for
+			// pedagogical brevity (DPL003 off).
+			{Match: "cmd", Enable: append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse}, errs...)},
 			{Match: "examples", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
 		},
 		SensitiveFields: map[string][]string{

@@ -23,7 +23,7 @@ type Message struct {
 
 // LogBid leaks the protected bid straight into the process log.
 func LogBid(w Worker) {
-	log.Printf("worker %s bid %.2f", w.ID, w.Bid) // want MCS-DPL001
+	log.Printf("worker %s bid %.2f", w.ID, w.Bid) // want MCS-DPL001 MCS-DPL003
 }
 
 // Stash copies the bid through a local first; the one-level taint

@@ -1,0 +1,51 @@
+// Package logbad exercises the evlog-is-the-sanctioned-sink policy:
+// direct standard-library log use (MCS-DPL003) and a protected bid
+// entering the structured event stream through a plain evlog field
+// constructor (MCS-DPL001). The clean functions show the sanctioned
+// alternatives — evlog.Logger methods with Redacted/Aggregate fields.
+// The evlog import resolves to a type stub under LoadDir; the checks
+// key off the import path, not the package's exported signatures.
+package logbad
+
+import (
+	"log"
+	"os"
+
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
+)
+
+// Worker mirrors the auction's bid carrier; Worker.Bid is sensitive by
+// the policy table.
+type Worker struct {
+	ID  string
+	Bid float64
+}
+
+// Direct logs through the global stdlib logger.
+func Direct(w Worker) {
+	log.Printf("round announced to %s", w.ID) // want MCS-DPL003
+}
+
+// Constructed builds a private stdlib logger; both the constructor and
+// the method call are direct log use.
+func Constructed() {
+	l := log.New(os.Stderr, "mcs ", 0) // want MCS-DPL003
+	l.Println("round complete")        // want MCS-DPL003
+}
+
+// LeakField routes the protected bid into the event stream through a
+// plain field constructor instead of a redaction wrapper.
+func LeakField(ev *evlog.Logger, w Worker) {
+	ev.Info("bid.accepted", evlog.Float("bid", w.Bid)) // want MCS-DPL001
+}
+
+// Sanctioned is the approved shape: evlog.Logger methods are not
+// sinks, Redacted carries no value, and Aggregate marks a population
+// statistic as deliberately released.
+func Sanctioned(ev *evlog.Logger, w Worker) {
+	ev.Info("bid.accepted",
+		evlog.String("worker", w.ID),
+		evlog.Redacted("bid"))
+	ev.Info("round.complete",
+		evlog.Aggregate("clearing_price", w.Bid))
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/dphsrc/dphsrc/internal/mechanism"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
 // SelectionRule chooses how the winner set for a candidate price is
@@ -50,6 +51,7 @@ type config struct {
 	hasPriceSet bool
 	parallelism int
 	telemetry   *telemetry.Registry
+	events      *evlog.Logger
 }
 
 // WithRule selects the winner-set computation rule. The default is
@@ -92,6 +94,17 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *config) { c.telemetry = reg }
 }
 
+// WithEventLog records structured build/cover/reweight events in lg
+// (core.build, core.cover, core.reweight) and threads it into the
+// mechanism's per-sample events. Events carry population-level counts
+// and public parameters only — never bids, payments, or anything
+// bid-derived; the DP output (sampled index) is the sole release. A
+// nil logger keeps the zero-overhead nop path. Auctions derived via
+// Reweight inherit the logger.
+func WithEventLog(lg *evlog.Logger) Option {
+	return func(c *config) { c.events = lg }
+}
+
 // PriceInfo describes the mechanism's state at one support price.
 type PriceInfo struct {
 	// Price is the candidate single clearing price x.
@@ -122,6 +135,10 @@ type Auction struct {
 	// (nil is the nop registry); Reweight instruments derived mechanisms
 	// against the same registry.
 	reg *telemetry.Registry
+	// ev is the structured event log (nil is the nop); inherited by
+	// Reweight-derived auctions so epsilon sweeps keep their audit
+	// trail.
+	ev *evlog.Logger
 	// gainEvals counts marginal-gain evaluations performed during
 	// construction; exposed for the lazy-vs-naive ablation.
 	gainEvals int
@@ -172,7 +189,7 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	}
 	reg := cfg.telemetry
 	buildStart := reg.Now()
-	a := &Auction{inst: inst.Clone(), rule: cfg.rule, reg: reg}
+	a := &Auction{inst: inst.Clone(), rule: cfg.rule, reg: reg, ev: cfg.events}
 
 	cp := newCoverProblem(&a.inst)
 	sorted := sortedByBid(a.inst.Workers)
@@ -258,7 +275,17 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	}
 	a.mech = mech
 	a.mech.Instrument(reg)
+	a.mech.InstrumentEvents(a.ev)
 	a.gainEvals = int(cp.evals.Load())
+
+	a.ev.Info("core.build",
+		evlog.Int("workers", n),
+		evlog.Int("tasks", a.inst.NumTasks),
+		evlog.Int("support_size", len(a.prices)),
+		evlog.Int("gain_evals", a.gainEvals),
+		evlog.Float("eps", a.inst.Epsilon),
+		evlog.String("rule", a.rule.String()),
+		evlog.Bool("shared", false))
 
 	reg.Counter("mcs_core_auctions_total", "DP-hSRC auctions constructed.").Inc()
 	reg.Counter("mcs_core_gain_evals_total",
@@ -294,7 +321,7 @@ func (a *Auction) Reweight(eps float64) (*Auction, error) {
 	// construction, and Instance() clones before handing them out.
 	inst := a.inst
 	inst.Epsilon = eps
-	nw := &Auction{inst: inst, rule: a.rule, prices: a.prices, reg: a.reg, gainEvals: a.gainEvals}
+	nw := &Auction{inst: inst, rule: a.rule, prices: a.prices, reg: a.reg, ev: a.ev, gainEvals: a.gainEvals}
 	logW := mechanism.PaymentLogWeights(nw.paymentVector(), eps, len(inst.Workers), inst.CMax)
 	mech, err := mechanism.NewExponential(logW)
 	if err != nil {
@@ -302,8 +329,15 @@ func (a *Auction) Reweight(eps float64) (*Auction, error) {
 	}
 	nw.mech = mech
 	nw.mech.Instrument(a.reg)
+	nw.mech.InstrumentEvents(a.ev)
 	a.reg.Counter("mcs_core_reweights_total",
 		"Mechanism-only rebuilds that reuse an auction's winner sets across a privacy-budget sweep.").Inc()
+	// shared:true is the ledger's record that this sweep point reused
+	// the receiver's winner sets instead of rebuilding them.
+	a.ev.Info("core.reweight",
+		evlog.Float("eps", eps),
+		evlog.Int("support_size", len(nw.prices)),
+		evlog.Bool("shared", true))
 	return nw, nil
 }
 
@@ -329,6 +363,13 @@ func (a *Auction) coverByCount(cp *coverProblem, sorted []int, distinct []int, p
 			results[k] = coverResult{winners: winners, feasible: feas}
 		}
 		coverSeconds.Observe(reg.Since(start))
+		// Candidate counts and winner-set sizes are population-level;
+		// under WithParallelism the emission order is scheduling-
+		// dependent, which is fine for an observability stream.
+		a.ev.Debug("core.cover",
+			evlog.Int("candidates", distinct[k]),
+			evlog.Int("winners", len(results[k].winners)),
+			evlog.Bool("feasible", results[k].feasible))
 	}
 	if parallelism < 2 || len(distinct) < 2 {
 		for k := range distinct {

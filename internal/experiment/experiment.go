@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"github.com/dphsrc/dphsrc/internal/core"
@@ -19,6 +20,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/plot"
 	"github.com/dphsrc/dphsrc/internal/stats"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 	"github.com/dphsrc/dphsrc/internal/workload"
 )
 
@@ -64,6 +66,14 @@ type Config struct {
 	// feasibility probing stay uninstrumented so the counters reflect
 	// the sweep itself.
 	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives the run's structured event stream:
+	// sweep.start / sweep.progress (with an ETA extrapolated from the
+	// worker pool's completion rate) / sweep.complete per runner, plus
+	// the core.build / core.reweight events of the measured auction
+	// constructions. Nil disables event logging at zero cost. Under
+	// Parallelism > 1 the progress events interleave in scheduling
+	// order; the figure data stays byte-identical regardless.
+	Events *evlog.Logger
 }
 
 // withDefaults fills zero fields.
@@ -81,6 +91,54 @@ func (c Config) withDefaults() Config {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
+}
+
+// progressTracker emits the sweep lifecycle events for one runner:
+// sweep.start when the pool is about to fan out, sweep.progress after
+// every completed job (carrying an ETA extrapolated from the pool's
+// completion rate so far), and sweep.complete at the end. All methods
+// are safe from pool goroutines; with a nil event log everything
+// degrades to nops.
+type progressTracker struct {
+	ev        *evlog.Logger
+	id        string
+	total     int64
+	start     time.Time
+	completed atomic.Int64
+}
+
+// startProgress announces the sweep and returns its tracker.
+func startProgress(ev *evlog.Logger, id string, totalJobs int) *progressTracker {
+	pt := &progressTracker{ev: ev, id: id, total: int64(totalJobs), start: ev.Now()}
+	ev.Info("sweep.start", evlog.String("figure", id), evlog.Int("jobs", totalJobs))
+	return pt
+}
+
+// jobDone records one finished pool job.
+func (pt *progressTracker) jobDone() {
+	n := pt.completed.Add(1)
+	if !pt.ev.Enabled(evlog.LevelDebug) {
+		return
+	}
+	elapsed := pt.ev.Now().Sub(pt.start).Seconds()
+	eta := 0.0
+	if n < pt.total {
+		eta = elapsed / float64(n) * float64(pt.total-n)
+	}
+	pt.ev.Debug("sweep.progress",
+		evlog.String("figure", pt.id),
+		evlog.Int64("completed", n),
+		evlog.Int64("total", pt.total),
+		evlog.Float("elapsed_seconds", elapsed),
+		evlog.Float("eta_seconds", eta))
+}
+
+// done announces sweep completion.
+func (pt *progressTracker) done() {
+	pt.ev.Info("sweep.complete",
+		evlog.String("figure", pt.id),
+		evlog.Int64("jobs", pt.completed.Load()),
+		evlog.Seconds("elapsed", pt.ev.Now().Sub(pt.start)))
 }
 
 // FigureResult is the data behind one reproduced figure.
@@ -179,7 +237,7 @@ func runSweepInstance(p workload.Params, withOptimal bool, cfg Config, seed int6
 	startDP := time.Now()
 	// Rebuild to time construction alone (generateFeasible already
 	// built one to check feasibility).
-	dpAuction, err = core.New(inst, core.WithParallelism(cfg.Parallelism))
+	dpAuction, err = core.New(inst, core.WithParallelism(cfg.Parallelism), core.WithEventLog(cfg.Events))
 	if err != nil {
 		res.err = err
 		return res
@@ -229,9 +287,12 @@ func paymentSweep(id, title, xlabel string, xs []int, family func(int) workload.
 		}
 	}
 	results := make([]instanceResult, len(seeds))
+	pt := startProgress(cfg.Events, id, len(seeds))
 	runIndexed(len(seeds), cfg.Parallelism, func(i int) {
 		results[i] = runSweepInstance(params[i/cfg.Instances], withOptimal, cfg, seeds[i])
+		pt.jobDone()
 	})
+	pt.done()
 
 	var (
 		dp, base, opt plot.Series

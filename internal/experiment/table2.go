@@ -62,9 +62,12 @@ func Table2(cfg Config) (Table2Result, error) {
 	}
 	rows := make([]Table2Row, len(pts))
 	errs := make([]error, len(pts))
+	pt := startProgress(cfg.Events, "table2", len(pts))
 	runIndexed(len(pts), cfg.Parallelism, func(i int) {
 		rows[i], errs[i] = table2Point(pts[i].label, pts[i].p, cfg, pts[i].seed)
+		pt.jobDone()
 	})
+	pt.done()
 	for _, err := range errs {
 		if err != nil {
 			return Table2Result{}, err

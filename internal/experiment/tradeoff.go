@@ -72,7 +72,8 @@ func Figure5(cfg Config) (Figure5Result, error) {
 		cur := base.Clone()
 		cur.Epsilon = Figure5Epsilons[0]
 		return core.New(cur, core.WithPriceSet(support),
-			core.WithParallelism(cfg.Parallelism), core.WithTelemetry(cfg.Telemetry))
+			core.WithParallelism(cfg.Parallelism), core.WithTelemetry(cfg.Telemetry),
+			core.WithEventLog(cfg.Events))
 	}
 	baseA, err := build(inst)
 	if err != nil {
@@ -91,6 +92,7 @@ func Figure5(cfg Config) (Figure5Result, error) {
 		Leakage:  make([]float64, len(Figure5Epsilons)),
 	}
 	errs := make([]error, len(Figure5Epsilons))
+	pt := startProgress(cfg.Events, "fig5", len(Figure5Epsilons))
 	runIndexed(len(Figure5Epsilons), cfg.Parallelism, func(i int) {
 		eps := Figure5Epsilons[i]
 		a, err := baseA.Reweight(eps)
@@ -117,7 +119,9 @@ func Figure5(cfg Config) (Figure5Result, error) {
 			}
 		}
 		res.Leakage[i] = worst
+		pt.jobDone()
 	})
+	pt.done()
 	for _, err := range errs {
 		if err != nil {
 			return Figure5Result{}, err

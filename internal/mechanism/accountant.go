@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
 // Accountant errors.
@@ -32,6 +33,13 @@ type Accountant struct {
 	epsSpent *telemetry.Gauge
 	spends   *telemetry.Counter
 	refusals *telemetry.Counter
+	// ev receives the audit trail (budget.spend / budget.refuse); nil
+	// no-ops.
+	ev *evlog.Logger
+	// releases / refusalCount mirror the counters for manifest export
+	// without reading telemetry back.
+	releases     int64
+	refusalCount int64
 }
 
 // Instrument exports the ledger to a telemetry registry:
@@ -54,6 +62,19 @@ func (a *Accountant) Instrument(reg *telemetry.Registry) {
 	a.epsSpent.Set(a.spent)
 }
 
+// ObserveEvents attaches the accountant's audit trail to an event log:
+// every successful debit emits one budget.spend event carrying the
+// release's epsilon and the exact cumulative total after it, and every
+// refusal emits budget.refuse. Events are emitted under the ledger
+// mutex, so folding the stream's eps fields in order reproduces the
+// accountant's float additions bit-for-bit (see evlog.FoldBudget). A
+// nil logger is the nop.
+func (a *Accountant) ObserveEvents(lg *evlog.Logger) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ev = lg
+}
+
 // NewAccountant returns an accountant with the given total epsilon
 // budget.
 func NewAccountant(total float64) (*Accountant, error) {
@@ -74,11 +95,22 @@ func (a *Accountant) Spend(eps float64) error {
 	defer a.mu.Unlock()
 	if a.spent+eps > a.total+1e-12 {
 		a.refusals.Inc()
+		a.refusalCount++
+		a.ev.Warn(evlog.EventBudgetRefuse,
+			evlog.Float("eps", eps),
+			evlog.Float("spent", a.spent),
+			evlog.Float("total", a.total))
 		return fmt.Errorf("%w: spent %v of %v, refusing eps=%v", ErrBudgetExhausted, a.spent, a.total, eps)
 	}
 	a.spent += eps
 	a.spends.Inc()
+	a.releases++
 	a.epsSpent.Set(a.spent)
+	a.ev.Info(evlog.EventBudgetSpend,
+		evlog.Float("eps", eps),
+		evlog.Float("spent", a.spent),
+		evlog.Float("remaining", a.total-a.spent),
+		evlog.Float("total", a.total))
 	return nil
 }
 
@@ -94,4 +126,23 @@ func (a *Accountant) Remaining() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.total - a.spent
+}
+
+// Total returns the configured budget.
+func (a *Accountant) Total() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Ledger summarizes the accountant for a run manifest.
+func (a *Accountant) Ledger() telemetry.ManifestBudget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return telemetry.ManifestBudget{
+		Total:    a.total,
+		Spent:    a.spent,
+		Releases: a.releases,
+		Refusals: a.refusalCount,
+	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"github.com/dphsrc/dphsrc/internal/stats"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
 // ErrEmptySupport reports that a mechanism was asked to choose from an
@@ -38,6 +39,10 @@ type Exponential struct {
 	reg        *telemetry.Registry
 	samples    *telemetry.Counter
 	pmfSeconds *telemetry.Histogram
+	// ev receives one mechanism.sample event per draw; nil no-ops. The
+	// drawn index is the mechanism's DP output, so logging it is a
+	// sanctioned release.
+	ev *evlog.Logger
 }
 
 // Instrument attaches the mechanism to a telemetry registry: price
@@ -51,6 +56,14 @@ func (e *Exponential) Instrument(reg *telemetry.Registry) {
 		"Exponential-mechanism price draws (Gumbel-max).")
 	e.pmfSeconds = reg.Histogram("mcs_mechanism_pmf_seconds",
 		"Exact PMF computation time.", telemetry.TimeBuckets)
+}
+
+// InstrumentEvents attaches an event log: every Sample emits one
+// debug-level mechanism.sample event carrying the drawn support index
+// (the DP output — never the weights, which are bid-derived). Call
+// before the mechanism is shared; a nil logger is the nop.
+func (e *Exponential) InstrumentEvents(lg *evlog.Logger) {
+	e.ev = lg
 }
 
 // NewExponential builds a mechanism from the given log-weights. The
@@ -111,6 +124,9 @@ func (e *Exponential) Sample(r *rand.Rand) int {
 		}
 	}
 	e.samples.Inc()
+	e.ev.Debug("mechanism.sample",
+		evlog.Int("index", best),
+		evlog.Int("support_size", len(e.logWeights)))
 	return best
 }
 

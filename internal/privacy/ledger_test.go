@@ -1,0 +1,170 @@
+package privacy
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
+)
+
+// TestBudgetLedgerCrossChecksLeakageAndMetrics is the audit-trail
+// acceptance test: one epsilon sweep with a metered accountant must
+// leave three mutually consistent records — the structured event
+// stream's folded budget ledger, the mcs_mechanism_* metric families,
+// and the KL-leakage meter's per-point measurements. Every equality on
+// the float ledger is exact (==), not approximate: budget.spend events
+// carry the accountant's own cumulative additions.
+func TestBudgetLedgerCrossChecksLeakageAndMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ev := evlog.New()
+
+	instA := sweepInstance()
+	instB := sweepInstance()
+	instB.Workers[0].Bid = 24
+	support := core.PriceGridRange(15, 25, 1)
+	build := func(inst core.Instance) *core.Auction {
+		a, err := core.New(inst, core.WithPriceSet(support),
+			core.WithTelemetry(reg), core.WithEventLog(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b := build(instA), build(instB)
+
+	epsilons := []float64{0.1, 0.5, 2, 10}
+	points, err := EpsilonSweep(a, b, epsilons)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The accountant meters one release of profile A per sweep point,
+	// then is driven into one refusal.
+	var budget float64
+	for _, eps := range epsilons {
+		budget += eps
+	}
+	acct, err := mechanism.NewAccountant(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct.Instrument(reg)
+	acct.ObserveEvents(ev)
+	for _, eps := range epsilons {
+		if err := acct.Spend(eps); err != nil {
+			t.Fatalf("spend eps=%v: %v", eps, err)
+		}
+	}
+	if err := acct.Spend(1); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("overdraw returned %v, want ErrBudgetExhausted", err)
+	}
+
+	// 1. Ledger vs accountant: fold the stream and demand bit-for-bit
+	// agreement with the accountant's own totals.
+	var buf bytes.Buffer
+	if err := ev.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := evlog.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("event stream invalid: %v", err)
+	}
+	led, err := evlog.FoldBudget(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Releases != len(epsilons) || led.Refusals != 1 {
+		t.Errorf("ledger has %d releases / %d refusals, want %d / 1", led.Releases, led.Refusals, len(epsilons))
+	}
+	if led.CumulativeEpsilon != acct.Spent() {
+		t.Errorf("folded cumulative epsilon %v != accountant spent %v (must be exact)", led.CumulativeEpsilon, acct.Spent())
+	}
+	if led.FinalSpent != acct.Spent() {
+		t.Errorf("ledger final spent %v != accountant %v", led.FinalSpent, acct.Spent())
+	}
+	if led.Total != acct.Total() {
+		t.Errorf("ledger total %v != accountant budget %v", led.Total, acct.Total())
+	}
+
+	// 2. Ledger vs mcs_mechanism_* metrics: the counters and gauge must
+	// tell the same story as the folded stream.
+	if got := reg.Counter("mcs_mechanism_spends_total", "").Value(); got != int64(led.Releases) {
+		t.Errorf("mcs_mechanism_spends_total %d != ledger releases %d", got, led.Releases)
+	}
+	if got := reg.Counter("mcs_mechanism_spend_refusals_total", "").Value(); got != int64(led.Refusals) {
+		t.Errorf("mcs_mechanism_spend_refusals_total %d != ledger refusals %d", got, led.Refusals)
+	}
+	if got := reg.Gauge("mcs_mechanism_epsilon_spent", "").Value(); got != led.FinalSpent {
+		t.Errorf("mcs_mechanism_epsilon_spent %v != ledger final spent %v", got, led.FinalSpent)
+	}
+	if got := reg.Gauge("mcs_mechanism_epsilon_budget", "").Value(); got != led.Total {
+		t.Errorf("mcs_mechanism_epsilon_budget %v != ledger total %v", got, led.Total)
+	}
+
+	// 3. Ledger vs KL-leakage meter: each metered release must actually
+	// bound the measured distinguishability at its epsilon — the spend
+	// events claim a privacy cost; the meter confirms the mechanism
+	// stayed inside it.
+	spendEps := make([]float64, 0, len(epsilons))
+	for _, e := range events {
+		if e.Name != evlog.EventBudgetSpend {
+			continue
+		}
+		eps, ok := e.Float("eps")
+		if !ok {
+			t.Fatalf("budget.spend without eps: %v", e.Fields)
+		}
+		spendEps = append(spendEps, eps)
+	}
+	if len(spendEps) != len(points) {
+		t.Fatalf("%d spend events for %d sweep points", len(spendEps), len(points))
+	}
+	for i, pt := range points {
+		if spendEps[i] != pt.Epsilon {
+			t.Errorf("spend %d debits eps=%v, sweep point charged %v", i, spendEps[i], pt.Epsilon)
+		}
+		if pt.Leakage.MaxLogRatio > pt.Epsilon+1e-9 {
+			t.Errorf("eps=%v: measured max log ratio %v exceeds the debited budget", pt.Epsilon, pt.Leakage.MaxLogRatio)
+		}
+		if pt.Leakage.KL > pt.Epsilon+1e-9 {
+			t.Errorf("eps=%v: measured KL %v exceeds the debited budget", pt.Epsilon, pt.Leakage.KL)
+		}
+		if pt.Leakage.KL < 0 || math.IsNaN(pt.Leakage.KL) {
+			t.Errorf("eps=%v: KL %v out of range", pt.Epsilon, pt.Leakage.KL)
+		}
+	}
+
+	// 4. Shared-vs-rebuilt provenance: the sweep must have constructed
+	// each profile exactly once (core.build, shared=false) and derived
+	// every point by reweighting (core.reweight, shared=true), visible
+	// both in the events and in mcs_core_reweights_total.
+	builds, reweights := 0, 0
+	for _, e := range events {
+		switch e.Name {
+		case "core.build":
+			builds++
+			if shared, ok := e.Bool("shared"); !ok || shared {
+				t.Errorf("core.build event seq=%d: shared=%v ok=%v, want false", e.Seq, shared, ok)
+			}
+		case "core.reweight":
+			reweights++
+			if shared, ok := e.Bool("shared"); !ok || !shared {
+				t.Errorf("core.reweight event seq=%d: shared=%v ok=%v, want true", e.Seq, shared, ok)
+			}
+		}
+	}
+	if builds != 2 {
+		t.Errorf("%d core.build events, want 2 (one per profile)", builds)
+	}
+	if want := 2 * len(epsilons); reweights != want {
+		t.Errorf("%d core.reweight events, want %d (two profiles x %d epsilons)", reweights, want, len(epsilons))
+	}
+	if got := reg.Counter("mcs_core_reweights_total", "").Value(); got != int64(reweights) {
+		t.Errorf("mcs_core_reweights_total %d != core.reweight events %d", got, reweights)
+	}
+}

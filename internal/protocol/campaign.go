@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/dphsrc/dphsrc/internal/crowd"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
 // ErrNoRounds reports a campaign with a non-positive round count.
@@ -135,9 +136,19 @@ func (p *Platform) RunCampaign(ctx context.Context, ln net.Listener, rounds int,
 				return campaign, err
 			}
 		}
-		p.logf("round %d/%d complete: payment %.2f", round+1, rounds, rep.Outcome.TotalPayment)
+		p.campaignRoundEvent(round+1, rounds, rep)
 	}
 	return campaign, nil
+}
+
+// campaignRoundEvent records one completed campaign round. The payment
+// total derives from the DP price draw, so it rides in an Aggregate
+// wrapper like the clearing price itself.
+func (p *Platform) campaignRoundEvent(round, rounds int, rep RoundReport) {
+	p.cfg.Events.Info("campaign.round",
+		evlog.Int("round", round),
+		evlog.Int("rounds", rounds),
+		evlog.Aggregate("total_payment", rep.Outcome.TotalPayment))
 }
 
 // RunCampaignTolerant is RunCampaign for lossy networks: a round that
@@ -161,7 +172,10 @@ func (p *Platform) RunCampaignTolerant(ctx context.Context, ln net.Listener, rou
 			if IsDegraded(err) {
 				campaign.FailedRounds++
 				campaign.RoundErrors = append(campaign.RoundErrors, err.Error())
-				p.logf("round %d/%d degraded, skipping: %v", round+1, rounds, err)
+				p.cfg.Events.Warn("campaign.round_skipped",
+					evlog.Int("round", round+1),
+					evlog.Int("rounds", rounds),
+					evlog.String("reason", degradeReason(err)))
 				continue
 			}
 			return campaign, fmt.Errorf("protocol: round %d: %w", round+1, err)
@@ -173,7 +187,7 @@ func (p *Platform) RunCampaignTolerant(ctx context.Context, ln net.Listener, rou
 				return campaign, err
 			}
 		}
-		p.logf("round %d/%d complete: payment %.2f", round+1, rounds, rep.Outcome.TotalPayment)
+		p.campaignRoundEvent(round+1, rounds, rep)
 	}
 	return campaign, nil
 }

@@ -14,6 +14,7 @@ package protocol
 //   - identical seeds yield byte-identical round reports.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,6 +31,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/faultnet"
 	"github.com/dphsrc/dphsrc/internal/mechanism"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
 // chaosOpts parameterizes one fault-injected round.
@@ -44,6 +46,7 @@ type chaosOpts struct {
 	retry      RetryPolicy
 	accountant *mechanism.Accountant
 	telemetry  *telemetry.Registry
+	events     *evlog.Logger
 }
 
 func defaultChaosOpts(seed int64, workers int) chaosOpts {
@@ -97,6 +100,7 @@ func chaosPlatformConfig(o chaosOpts) PlatformConfig {
 		Seed:       o.seed,
 		Accountant: o.accountant,
 		Telemetry:  o.telemetry,
+		Events:     o.events,
 	}
 }
 
@@ -697,6 +701,96 @@ func TestChaosTelemetryAgreesWithFaultAccounting(t *testing.T) {
 	}
 	if got := reg.Histogram("mcs_protocol_round_seconds", "", telemetry.TimeBuckets).Count(); got != 1 {
 		t.Errorf("round_seconds observed %d rounds, want 1", got)
+	}
+}
+
+// TestChaosEventsReconcileWithFaults runs the acceptance chaos round
+// with a live event logger and reconciles the structured event stream
+// against the round's own accounting: every tolerated fault in
+// RoundReport.Faults must appear as exactly one round.fault event of
+// the matching kind, the bid.accepted count must equal the accepted
+// bidders, and the stream must survive a JSONL write/read round trip
+// with strict schema validation.
+func TestChaosEventsReconcileWithFaults(t *testing.T) {
+	ev := evlog.New()
+	o := defaultChaosOpts(7, 50)
+	o.events = ev
+
+	rep, _, _, err := runChaosRound(t, o)
+
+	// Round-trip the stream through its wire format first: every
+	// reconciliation below runs on the decoded events, so the schema
+	// itself is part of what the test certifies.
+	var buf bytes.Buffer
+	if werr := ev.WriteJSONL(&buf); werr != nil {
+		t.Fatal(werr)
+	}
+	events, perr := evlog.ReadJSONL(&buf)
+	if perr != nil {
+		t.Fatalf("event stream failed strict schema validation: %v", perr)
+	}
+	if len(events) != ev.Len() {
+		t.Fatalf("round trip lost events: wrote %d, read %d", ev.Len(), len(events))
+	}
+
+	byName := make(map[string]int)
+	faultKinds := make(map[string]int)
+	for _, e := range events {
+		byName[e.Name]++
+		if e.Name == "round.fault" {
+			kind, ok := e.Str("kind")
+			if !ok {
+				t.Fatalf("round.fault without kind: %v", e.Fields)
+			}
+			faultKinds[kind]++
+		}
+	}
+
+	if err != nil {
+		assertTypedRoundError(t, err)
+		if byName["round.degraded"]+byName["round.failed"] != 1 {
+			t.Errorf("errored round emitted %d degraded + %d failed events, want exactly 1",
+				byName["round.degraded"], byName["round.failed"])
+		}
+		return
+	}
+	if byName["round.complete"] != 1 {
+		t.Errorf("completed round emitted %d round.complete events, want 1", byName["round.complete"])
+	}
+	if byName["round.phase"] != 4 {
+		t.Errorf("completed round emitted %d round.phase events, want 4", byName["round.phase"])
+	}
+	if byName["bid.accepted"] != rep.Bidders {
+		t.Errorf("bid.accepted events %d != accepted bidders %d", byName["bid.accepted"], rep.Bidders)
+	}
+	for kind, want := range map[string]int{
+		"handshake_failed":   rep.Faults.HandshakesFailed,
+		"duplicate_bid":      rep.Faults.DuplicatesRejected,
+		"winner_unreachable": rep.Faults.WinnersUnreachable,
+		"winner_evicted":     rep.Faults.WinnersEvicted,
+		"loser_unnotified":   rep.Faults.LosersUnnotified,
+	} {
+		if faultKinds[kind] != want {
+			t.Errorf("round.fault kind=%s events %d != RoundReport.Faults %d", kind, faultKinds[kind], want)
+		}
+	}
+	var totalKinds int
+	for _, n := range faultKinds {
+		totalKinds += n
+	}
+	if totalKinds != rep.Faults.Total() {
+		t.Errorf("round.fault events %d != Faults.Total() %d", totalKinds, rep.Faults.Total())
+	}
+
+	// Redaction contract: bid.accepted events carry the bid only as a
+	// redaction marker, never as a value.
+	for _, e := range events {
+		if e.Name != "bid.accepted" {
+			continue
+		}
+		if !e.Redacted("bid") {
+			t.Fatalf("bid.accepted event seq=%d leaks a non-redacted bid field: %v", e.Seq, e.Fields)
+		}
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"math/rand"
 	"net"
 	"sort"
@@ -16,6 +15,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/mechanism"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
 // Platform-side errors.
@@ -78,8 +78,14 @@ type PlatformConfig struct {
 	// degrade before that point (no bids, no quorum, infeasible) spend
 	// nothing.
 	Accountant *mechanism.Accountant
-	// Logger receives progress lines; nil disables logging.
-	Logger *log.Logger
+	// Events receives the platform's structured event stream: round
+	// lifecycle, per-phase completions carrying the round's span IDs
+	// (log<->trace correlation), tolerated faults, and bid handshake
+	// outcomes. evlog is the protocol's only sanctioned logging sink
+	// (mcs-lint MCS-DPL003); bid values never enter the stream — the
+	// field API admits them only through Redacted/Aggregate wrappers.
+	// Nil disables event logging at zero cost.
+	Events *evlog.Logger
 	// Telemetry, when non-nil, receives the platform's metric families
 	// (mcs_protocol_*) and is threaded into the auction core and the
 	// privacy accountant. Nil disables all recording at zero cost.
@@ -177,7 +183,7 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		cfg.Seed = time.Now().UnixNano()
 	}
 	p := &Platform{cfg: cfg, met: newPlatformMetrics(cfg.Telemetry)}
-	p.logf("mechanism seed %d", cfg.Seed)
+	cfg.Events.Info("platform.seed", evlog.Int64("seed", cfg.Seed))
 	// An int64 seed exceeds float64's exact-integer range, so the value
 	// rides in a label (info-style gauge) rather than the sample.
 	cfg.Telemetry.Gauge(
@@ -185,9 +191,20 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		"Mechanism seed for this platform; the value is the seed label.").Set(1)
 	if cfg.Accountant != nil {
 		cfg.Accountant.Instrument(cfg.Telemetry)
+		if cfg.Events != nil {
+			// Only attach when this platform actually logs events: the
+			// accountant may be shared with another platform whose
+			// stream must not be torn down by this one's nil.
+			cfg.Accountant.ObserveEvents(cfg.Events)
+		}
 	}
 	return p, nil
 }
+
+// Seed returns the mechanism seed the platform resolved at
+// construction (the configured value, or the clock-derived fallback),
+// so callers can record it in a run manifest.
+func (p *Platform) Seed() int64 { return p.cfg.Seed }
 
 // session is one worker's connection state.
 type session struct {
@@ -217,26 +234,54 @@ func (p *Platform) RunRound(ctx context.Context, ln net.Listener) (RoundReport, 
 // latency, and the final outcome tally.
 func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (RoundReport, []crowd.Report, error) {
 	reg := p.cfg.Telemetry
+	ev := p.cfg.Events
 	start := reg.Now()
 	root := p.cfg.Tracer.StartSpan("round")
+	ev.Info("round.start", evlog.Int64("span", root.ID()))
 	rep, reports, err := p.roundPhases(ctx, ln, root)
 	root.End()
 	p.met.roundSeconds.Observe(reg.Since(start))
 	switch {
 	case err == nil:
 		p.met.roundsCompleted.Inc()
+		// The clearing price is the mechanism's DP output — the one
+		// sanctioned release — so it rides in an Aggregate wrapper.
+		ev.Info("round.complete",
+			evlog.Int64("span", root.ID()),
+			evlog.Int("bidders", rep.Bidders),
+			evlog.Int("winners", len(rep.Outcome.Winners)),
+			evlog.Aggregate("clearing_price", rep.Outcome.Price),
+			evlog.Int("reports_received", rep.ReportsReceived),
+			evlog.Int("faults", rep.Faults.Total()))
 	case errors.Is(err, ErrQuorumNotMet):
 		p.met.quorumFailures.Inc()
 		p.met.roundsDegraded.Inc()
+		ev.Warn("round.degraded", evlog.Int64("span", root.ID()), evlog.String("reason", "quorum_not_met"))
 	case IsDegraded(err):
 		p.met.roundsDegraded.Inc()
+		ev.Warn("round.degraded", evlog.Int64("span", root.ID()), evlog.String("reason", degradeReason(err)))
 	case errors.Is(err, mechanism.ErrBudgetExhausted):
 		p.met.budgetRefusals.Inc()
 		p.met.roundsFailed.Inc()
+		ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.String("reason", "budget_exhausted"))
 	default:
 		p.met.roundsFailed.Inc()
+		ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.String("reason", "error"))
 	}
 	return rep, reports, err
+}
+
+// degradeReason classifies a graceful degradation for the event
+// stream.
+func degradeReason(err error) string {
+	switch {
+	case errors.Is(err, ErrNoBids):
+		return "no_bids"
+	case errors.Is(err, core.ErrInfeasible):
+		return "infeasible"
+	default:
+		return "degraded"
+	}
 }
 
 // roundPhases runs the four phases of a round — collect-bids, auction,
@@ -244,6 +289,20 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 // traced as a child of root.
 func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telemetry.Span) (RoundReport, []crowd.Report, error) {
 	reg := p.cfg.Telemetry
+	ev := p.cfg.Events
+	// phaseDone times a phase into the histogram and mirrors it as a
+	// round.phase event carrying the phase's span ID and the round's
+	// root span ID, so a log line can be joined to the trace tree.
+	phaseDone := func(name string, span *telemetry.Span, h *telemetry.Histogram, start time.Time) {
+		span.End()
+		el := reg.Since(start)
+		h.Observe(el)
+		ev.Debug("round.phase",
+			evlog.String("phase", name),
+			evlog.Int64("span", span.ID()),
+			evlog.Int64("parent", root.ID()),
+			evlog.Float("elapsed_seconds", el))
+	}
 	if p.cfg.Accountant != nil {
 		// Refuse up front when the budget cannot cover this round: a
 		// doomed round must not even collect bids. The actual debit
@@ -257,9 +316,8 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 
 	collectStart := reg.Now()
 	collectSpan := root.StartChild("collect-bids")
-	sessions, faults, err := p.collectBids(ctx, ln)
-	collectSpan.End()
-	p.met.phaseCollect.Observe(reg.Since(collectStart))
+	sessions, faults, err := p.collectBids(ctx, ln, collectSpan.ID())
+	phaseDone("collect-bids", collectSpan, p.met.phaseCollect, collectStart)
 	if err != nil {
 		return RoundReport{}, nil, err
 	}
@@ -280,13 +338,15 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 		return RoundReport{Faults: faults}, nil,
 			fmt.Errorf("%w: %d of %d required bids", ErrQuorumNotMet, len(sessions), p.cfg.Quorum)
 	}
-	p.logf("collected %d bids (%d session faults tolerated)", len(sessions), faults.Total())
+	ev.Info("round.bids_collected",
+		evlog.Int64("span", collectSpan.ID()),
+		evlog.Int("bids", len(sessions)),
+		evlog.Int("faults", faults.Total()))
 
 	auctionStart := reg.Now()
 	auctionSpan := root.StartChild("auction")
-	outcome, inst, err := p.runAuctionPhase(sessions)
-	auctionSpan.End()
-	p.met.phaseAuction.Observe(reg.Since(auctionStart))
+	outcome, inst, err := p.runAuctionPhase(sessions, auctionSpan.ID())
+	phaseDone("auction", auctionSpan, p.met.phaseAuction, auctionStart)
 	if err != nil {
 		return RoundReport{Faults: faults}, nil, err
 	}
@@ -315,6 +375,10 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 		if err := s.conn.Send(Message{Type: TypeOutcome, Won: false}); err != nil {
 			faults.LosersUnnotified++
 			p.met.faultLoserUnnotified.Inc()
+			ev.Warn("round.fault",
+				evlog.String("kind", "loser_unnotified"),
+				evlog.Int64("span", labelsSpan.ID()),
+				evlog.String("worker", s.workerID))
 			continue
 		}
 		_ = s.conn.Send(Message{Type: TypeDone})
@@ -339,20 +403,26 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 		go func(i int, s *session) {
 			defer wg.Done()
 			if err := s.conn.Send(Message{Type: TypeOutcome, Won: true, ClearingPrice: outcome.Price}); err != nil {
-				p.logf("winner %s unreachable at outcome: %v", s.workerID, err)
 				fmu.Lock()
 				faults.WinnersUnreachable++
 				fmu.Unlock()
 				p.met.faultWinnerUnreachable.Inc()
+				ev.Warn("round.fault",
+					evlog.String("kind", "winner_unreachable"),
+					evlog.Int64("span", labelsSpan.ID()),
+					evlog.String("worker", s.workerID))
 				return
 			}
 			m, err := s.conn.Expect(TypeLabels)
 			if err != nil {
-				p.logf("winner %s evicted (no labels): %v", s.workerID, err)
 				fmu.Lock()
 				faults.WinnersEvicted++
 				fmu.Unlock()
 				p.met.faultWinnerEvicted.Inc()
+				ev.Warn("round.fault",
+					evlog.String("kind", "winner_evicted"),
+					evlog.Int64("span", labelsSpan.ID()),
+					evlog.String("worker", s.workerID))
 				return
 			}
 			var got []crowd.Report
@@ -368,8 +438,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 		}(i, sessions[i])
 	}
 	wg.Wait()
-	labelsSpan.End()
-	p.met.phaseLabels.Observe(reg.Since(labelsStart))
+	phaseDone("labels", labelsSpan, p.met.phaseLabels, labelsStart)
 
 	var reports []crowd.Report
 	for _, rs := range perWinner {
@@ -381,8 +450,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 	aggStart := reg.Now()
 	aggSpan := root.StartChild("aggregate")
 	agg, err := crowd.WeightedAggregate(reports, inst.Skills, inst.NumTasks)
-	aggSpan.End()
-	p.met.phaseAggregate.Observe(reg.Since(aggStart))
+	phaseDone("aggregate", aggSpan, p.met.phaseAggregate, aggStart)
 	if err != nil {
 		return RoundReport{Faults: faults}, nil, fmt.Errorf("protocol: aggregation: %w", err)
 	}
@@ -393,13 +461,16 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 // runAuctionPhase assembles the instance from the accepted bids, debits
 // the privacy accountant, and runs the DP-hSRC auction. The price draw
 // is the privacy-relevant release: the accountant is debited exactly
-// once, immediately before it.
-func (p *Platform) runAuctionPhase(sessions []*session) (core.Outcome, core.Instance, error) {
+// once, immediately before it. spanID labels the phase's events for
+// log<->trace correlation.
+func (p *Platform) runAuctionPhase(sessions []*session, spanID int64) (core.Outcome, core.Instance, error) {
 	inst, err := p.buildInstance(sessions)
 	if err != nil {
 		return core.Outcome{}, core.Instance{}, err
 	}
-	auction, err := core.New(inst, core.WithTelemetry(p.cfg.Telemetry))
+	auction, err := core.New(inst,
+		core.WithTelemetry(p.cfg.Telemetry),
+		core.WithEventLog(p.cfg.Events))
 	if err != nil {
 		return core.Outcome{}, core.Instance{}, fmt.Errorf("protocol: building auction: %w", err)
 	}
@@ -409,15 +480,21 @@ func (p *Platform) runAuctionPhase(sessions []*session) (core.Outcome, core.Inst
 		}
 	}
 	outcome := auction.Run(rand.New(rand.NewSource(p.cfg.Seed)))
-	p.logf("clearing price %.2f with %d winners", outcome.Price, len(outcome.Winners))
+	// The drawn price is the mechanism's DP-sanctioned release; it still
+	// travels wrapped so the stream stays uniformly redaction-typed.
+	p.cfg.Events.Debug("round.price_drawn",
+		evlog.Int64("span", spanID),
+		evlog.Aggregate("clearing_price", outcome.Price),
+		evlog.Int("winners", len(outcome.Winners)))
 	return outcome, inst, nil
 }
 
 // collectBids accepts connections and performs the hello/announce/bid
 // handshake until the bid window closes, MinWorkers is reached, or ctx
 // is cancelled. Individual handshake failures are tolerated and
-// tallied, never fatal.
-func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session, RoundFaults, error) {
+// tallied, never fatal. spanID labels the phase's events.
+func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int64) ([]*session, RoundFaults, error) {
+	ev := p.cfg.Events
 	windowCtx, cancel := context.WithTimeout(ctx, p.cfg.BidWindow)
 	defer cancel()
 
@@ -479,11 +556,17 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 					mu.Lock()
 					faults.HandshakesFailed++
 					mu.Unlock()
+					cause := "rejected"
 					if isTimeout(err) {
+						cause = "timeout"
 						p.met.bidsTimedOut.Inc()
 					} else {
 						p.met.bidsRejected.Inc()
 					}
+					ev.Warn("round.fault",
+						evlog.String("kind", "handshake_failed"),
+						evlog.Int64("span", spanID),
+						evlog.String("cause", cause))
 				}
 				return
 			}
@@ -492,6 +575,10 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 			if seen[s.workerID] {
 				faults.DuplicatesRejected++
 				p.met.bidsDuplicate.Inc()
+				ev.Warn("round.fault",
+					evlog.String("kind", "duplicate_bid"),
+					evlog.Int64("span", spanID),
+					evlog.String("worker", s.workerID))
 				_ = s.conn.SendError(fmt.Errorf("%w: %s", ErrDuplicateBid, s.workerID))
 				_ = s.conn.Close()
 				return
@@ -499,6 +586,12 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener) ([]*session
 			seen[s.workerID] = true
 			sessions = append(sessions, s)
 			p.met.bidsAccepted.Inc()
+			// The bid value is DP-protected input: it never enters the
+			// stream, only a Redacted placeholder marking its arrival.
+			ev.Debug("bid.accepted",
+				evlog.Int64("span", spanID),
+				evlog.String("worker", s.workerID),
+				evlog.Redacted("bid"))
 			if p.cfg.MinWorkers > 0 && len(sessions) >= p.cfg.MinWorkers {
 				cancel()
 			}
@@ -567,11 +660,4 @@ func (p *Platform) buildInstance(sessions []*session) (core.Instance, error) {
 		return core.Instance{}, fmt.Errorf("protocol: assembled instance invalid: %w", err)
 	}
 	return inst, nil
-}
-
-// logf logs when a logger is configured.
-func (p *Platform) logf(format string, args ...any) {
-	if p.cfg.Logger != nil {
-		p.cfg.Logger.Printf(format, args...)
-	}
 }

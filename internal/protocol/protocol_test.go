@@ -3,10 +3,8 @@ package protocol
 import (
 	"context"
 	"errors"
-	"log"
 	"math/rand"
 	"net"
-	"os"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +12,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
 // testPlatformConfig returns a small feasible round configuration with
@@ -39,7 +38,7 @@ func testPlatformConfig(t *testing.T) PlatformConfig {
 		MinWorkers: 6,
 		IOTimeout:  2 * time.Second,
 		Seed:       42,
-		Logger:     log.New(os.Stderr, "platform-test ", 0),
+		Events:     evlog.New(),
 	}
 }
 

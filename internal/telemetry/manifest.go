@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+)
+
+// ManifestSchema identifies the manifest document version.
+const ManifestSchema = "mcs-manifest/v1"
+
+// ManifestSeed is one named derived seed; recording every seed a run
+// consumed is what makes the run replayable from the manifest alone.
+type ManifestSeed struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+}
+
+// ManifestArtifact is one output file the run produced, content-hashed
+// so a reader can verify the file on disk is the file the run wrote.
+type ManifestArtifact struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// ManifestBudget summarizes the run's privacy-budget ledger; Spent is
+// the accountant's exact cumulative total, cross-checkable against the
+// fold of the run's budget.spend events.
+type ManifestBudget struct {
+	Total    float64 `json:"total"`
+	Spent    float64 `json:"spent"`
+	Releases int64   `json:"releases"`
+	Refusals int64   `json:"refusals"`
+}
+
+// Manifest is a run's provenance record: what ran, with which
+// configuration, seeds, and epsilon parameters, on which toolchain and
+// revision, and exactly which artifacts it produced. Emitted by
+// mcs-bench, mcs-platform, and dphsrc-bench; rendered by mcs-report.
+type Manifest struct {
+	Schema        string             `json:"schema"`
+	Command       string             `json:"command"`
+	Args          []string           `json:"args,omitempty"`
+	CreatedUnixNs int64              `json:"created_unix_ns"`
+	GoVersion     string             `json:"go_version"`
+	GOOS          string             `json:"goos"`
+	GOARCH        string             `json:"goarch"`
+	GitRevision   string             `json:"git_revision,omitempty"`
+	GitDirty      bool               `json:"git_dirty,omitempty"`
+	Config        map[string]string  `json:"config,omitempty"`
+	Seeds         []ManifestSeed     `json:"seeds,omitempty"`
+	Epsilons      []float64          `json:"epsilons,omitempty"`
+	Budget        *ManifestBudget    `json:"budget,omitempty"`
+	Artifacts     []ManifestArtifact `json:"artifacts,omitempty"`
+}
+
+// NewManifest starts a manifest for the named command, stamping the
+// toolchain and — when the binary carries build info — the git
+// revision. The creation time comes from the injected clock; a nil
+// clock leaves it zero, keeping deterministic tests byte-stable.
+func NewManifest(command string, clock Clock) *Manifest {
+	m := &Manifest{
+		Schema:    ManifestSchema,
+		Command:   command,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Config:    make(map[string]string),
+	}
+	if clock != nil {
+		m.CreatedUnixNs = clock.Now().UnixNano()
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// SetConfig records one configuration key (typically a resolved flag
+// value). Config renders as a JSON object, so output order is the
+// sorted key order regardless of insertion order.
+func (m *Manifest) SetConfig(key, value string) {
+	if m.Config == nil {
+		m.Config = make(map[string]string)
+	}
+	m.Config[key] = value
+}
+
+// AddSeed records one named derived seed.
+func (m *Manifest) AddSeed(name string, seed int64) {
+	m.Seeds = append(m.Seeds, ManifestSeed{Name: name, Seed: seed})
+}
+
+// AddEpsilons records epsilon parameters the run exercised.
+func (m *Manifest) AddEpsilons(eps ...float64) {
+	m.Epsilons = append(m.Epsilons, eps...)
+}
+
+// SetBudget records the privacy-budget ledger summary.
+func (m *Manifest) SetBudget(b ManifestBudget) {
+	m.Budget = &b
+}
+
+// AddArtifact content-hashes the file at path and records it. The
+// path is stored as given; relative paths are resolved against the
+// manifest's own directory at verification time.
+func (m *Manifest) AddArtifact(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("manifest artifact %s: %w", path, err)
+	}
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("manifest artifact %s: %w", path, err)
+	}
+	m.Artifacts = append(m.Artifacts, ManifestArtifact{
+		Path:   path,
+		SHA256: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  n,
+	})
+	return nil
+}
+
+// Render writes the manifest as indented JSON. (Not named WriteTo: it
+// does not implement io.WriterTo's byte-count contract.)
+func (m *Manifest) Render(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path. The manifest cannot list
+// itself as an artifact (its hash would depend on itself), so callers
+// write it last, after every artifact is hashed.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Render(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest loads and strictly decodes a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	derr := dec.Decode(&m)
+	if cerr := f.Close(); derr == nil {
+		derr = cerr
+	}
+	if derr != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, derr)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("manifest %s: schema %q, want %q", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}
+
+// ArtifactCheck is the verification outcome for one artifact.
+type ArtifactCheck struct {
+	Path      string
+	OK        bool
+	GotSHA256 string
+	Err       string
+}
+
+// VerifyArtifacts re-hashes every artifact and reports, per artifact,
+// whether the file on disk still matches the manifest. Relative
+// artifact paths are resolved against baseDir ("" means the current
+// directory). It never fails fast: the report covers all artifacts.
+func (m *Manifest) VerifyArtifacts(baseDir string) []ArtifactCheck {
+	checks := make([]ArtifactCheck, 0, len(m.Artifacts))
+	for _, a := range m.Artifacts {
+		path := a.Path
+		if baseDir != "" && !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		check := ArtifactCheck{Path: a.Path}
+		sum, err := hashFile(path)
+		switch {
+		case err != nil:
+			check.Err = err.Error()
+		case sum != a.SHA256:
+			check.GotSHA256 = sum
+			check.Err = "sha256 mismatch"
+		default:
+			check.OK = true
+			check.GotSHA256 = sum
+		}
+		checks = append(checks, check)
+	}
+	return checks
+}
+
+// hashFile returns the hex SHA-256 of the file's contents.
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	_, err = io.Copy(h, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

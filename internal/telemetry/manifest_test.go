@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTripAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "results.csv")
+	if err := os.WriteFile(artifact, []byte("price,utility\n35,4973\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := NewManualClock(time.Unix(1700000000, 42))
+	m := NewManifest("mcs-bench", clock)
+	m.Args = []string{"-suite", "experiment"}
+	m.SetConfig("workers", "100")
+	m.SetConfig("suite", "experiment")
+	m.AddSeed("bench-gen", 1)
+	m.AddSeed("audit-run", 2)
+	m.AddEpsilons(0.1, 1, 10)
+	m.SetBudget(ManifestBudget{Total: 3.2, Spent: 1.6, Releases: 16})
+	if err := m.AddArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema || got.Command != "mcs-bench" {
+		t.Fatalf("header: %+v", got)
+	}
+	if got.CreatedUnixNs != time.Unix(1700000000, 42).UnixNano() {
+		t.Fatalf("created = %d", got.CreatedUnixNs)
+	}
+	if got.GoVersion != runtime.Version() || got.GOOS != runtime.GOOS || got.GOARCH != runtime.GOARCH {
+		t.Fatalf("toolchain: %+v", got)
+	}
+	if got.Config["workers"] != "100" || len(got.Seeds) != 2 || len(got.Epsilons) != 3 {
+		t.Fatalf("payload: %+v", got)
+	}
+	if got.Budget == nil || got.Budget.Spent != 1.6 {
+		t.Fatalf("budget: %+v", got.Budget)
+	}
+
+	checks := got.VerifyArtifacts("")
+	if len(checks) != 1 || !checks[0].OK {
+		t.Fatalf("verify: %+v", checks)
+	}
+
+	// Tamper with the artifact: verification must localize the damage.
+	if err := os.WriteFile(artifact, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checks = got.VerifyArtifacts("")
+	if checks[0].OK || checks[0].Err != "sha256 mismatch" {
+		t.Fatalf("tamper not detected: %+v", checks)
+	}
+
+	// A missing artifact reports, it does not abort.
+	if err := os.Remove(artifact); err != nil {
+		t.Fatal(err)
+	}
+	checks = got.VerifyArtifacts("")
+	if checks[0].OK || checks[0].Err == "" {
+		t.Fatalf("missing artifact not reported: %+v", checks)
+	}
+}
+
+func TestManifestRelativeArtifactResolvesAgainstBaseDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "events.jsonl"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("test", nil)
+	if err := m.AddArtifact(filepath.Join(dir, "events.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	// Store the artifact under its relative name, as a run started
+	// inside dir would have recorded it.
+	m.Artifacts[0].Path = "events.jsonl"
+	checks := m.VerifyArtifacts(dir)
+	if len(checks) != 1 || !checks[0].OK {
+		t.Fatalf("relative artifact not resolved against baseDir: %+v", checks)
+	}
+}
+
+func TestManifestNilClockIsDeterministic(t *testing.T) {
+	m := NewManifest("test", nil)
+	if m.CreatedUnixNs != 0 {
+		t.Fatalf("nil clock stamped %d", m.CreatedUnixNs)
+	}
+}
+
+func TestReadManifestRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9","command":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}

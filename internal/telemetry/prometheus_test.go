@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exposition renders the registry and fails the test on writer error.
+func exposition(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry(WithClock(NewManualClock(time.Unix(0, 0))))
+	r.Counter("mcs_test_total", "line one\nline two with back\\slash").Inc()
+	out := exposition(t, r)
+	want := `# HELP mcs_test_total line one\nline two with back\\slash`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "line one\nline two") {
+		t.Fatalf("raw newline leaked into exposition:\n%s", out)
+	}
+}
+
+func TestPrometheusHistogramInfBucket(t *testing.T) {
+	r := NewRegistry(WithClock(NewManualClock(time.Unix(0, 0))))
+	h := r.Histogram("mcs_test_seconds", "Latencies.", []float64{0.1, 1})
+	h.Observe(0.05) // le="0.1"
+	h.Observe(0.5)  // le="1"
+	h.Observe(99)   // +Inf overflow only
+	out := exposition(t, r)
+	for _, want := range []string{
+		`mcs_test_seconds_bucket{le="0.1"} 1`,
+		`mcs_test_seconds_bucket{le="1"} 2`,
+		`mcs_test_seconds_bucket{le="+Inf"} 3`, // cumulative: all observations
+		`mcs_test_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "mcs_test_seconds_sum 99.55\n") {
+		t.Errorf("sum wrong:\n%s", out)
+	}
+}
+
+func TestPrometheusLabeledHistogramSplicesLe(t *testing.T) {
+	r := NewRegistry(WithClock(NewManualClock(time.Unix(0, 0))))
+	h := r.Histogram(`mcs_test_seconds{phase="auction"}`, "", []float64{1})
+	h.Observe(0.5)
+	out := exposition(t, r)
+	for _, want := range []string{
+		`mcs_test_seconds_bucket{phase="auction",le="1"} 1`,
+		`mcs_test_seconds_bucket{phase="auction",le="+Inf"} 1`,
+		`mcs_test_seconds_sum{phase="auction"} 0.5`,
+		`mcs_test_seconds_count{phase="auction"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusGaugeSpecialValues(t *testing.T) {
+	r := NewRegistry(WithClock(NewManualClock(time.Unix(0, 0))))
+	r.Gauge("mcs_test_nan", "").Set(math.NaN())
+	r.Gauge("mcs_test_pinf", "").Set(math.Inf(1))
+	r.Gauge("mcs_test_ninf", "").Set(math.Inf(-1))
+	out := exposition(t, r)
+	// The exposition format spells these NaN / +Inf / -Inf.
+	for _, want := range []string{
+		"mcs_test_nan NaN",
+		"mcs_test_pinf +Inf",
+		"mcs_test_ninf -Inf",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusDeterministicFamilyOrdering(t *testing.T) {
+	build := func(scrambled bool) string {
+		r := NewRegistry(WithClock(NewManualClock(time.Unix(0, 0))))
+		names := []string{
+			`mcs_b_total{k="2"}`,
+			"mcs_a_total",
+			`mcs_b_total{k="1"}`,
+			"mcs_c_total",
+		}
+		if scrambled {
+			names = []string{names[3], names[2], names[0], names[1]}
+		}
+		for i, name := range names {
+			r.Counter(name, "Counter family.").Add(int64(i + 1))
+		}
+		// Registration order must not leak into the exposition; only
+		// values may differ, so normalize them away.
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if i := strings.LastIndexByte(line, ' '); i >= 0 && !strings.HasPrefix(line, "#") {
+				line = line[:i]
+			}
+			out += line + "\n"
+		}
+		return out
+	}
+	a, b := build(false), build(true)
+	if a != b {
+		t.Fatalf("exposition order depends on registration order:\n--- insertion\n%s--- scrambled\n%s", a, b)
+	}
+	// Families must appear in sorted order, each with exactly one TYPE
+	// header, and labeled series must follow their family header.
+	idxA := strings.Index(a, "# TYPE mcs_a_total")
+	idxB := strings.Index(a, "# TYPE mcs_b_total")
+	idxC := strings.Index(a, "# TYPE mcs_c_total")
+	if !(idxA >= 0 && idxA < idxB && idxB < idxC) {
+		t.Fatalf("families out of order:\n%s", a)
+	}
+	if strings.Count(a, "# TYPE mcs_b_total") != 1 {
+		t.Fatalf("family header duplicated:\n%s", a)
+	}
+}
+
+func TestPrometheusRepeatedWritesAreByteIdentical(t *testing.T) {
+	r := NewRegistry(WithClock(NewManualClock(time.Unix(0, 0))))
+	r.Counter(`mcs_test_total{result="ok"}`, "Ops.").Add(3)
+	r.Gauge("mcs_test_gauge", "Level.").Set(1.25)
+	r.Histogram("mcs_test_seconds", "Latency.", []float64{1}).Observe(0.5)
+	first := exposition(t, r)
+	for i := 0; i < 5; i++ {
+		if got := exposition(t, r); got != first {
+			t.Fatalf("write %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
