@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz-smoke bench bench-diff
+.PHONY: all build vet lint test race test-recovery fuzz-smoke bench bench-diff
 
 all: build vet lint test
 
@@ -42,9 +42,23 @@ bench:
 bench-diff:
 	$(GO) run ./cmd/mcs-bench -suite experiment -baseline BENCH_experiment.json > /dev/null
 
-# Short fuzzing passes over the wire-format and instance-validation
-# targets, seeded from the on-disk corpora under testdata/fuzz/.
+# Durability gate: the WAL/snapshot store's unit, fuzz-corpus and
+# replay-exactness property tests (recovery is bitwise-identical to the
+# live accountant and the event fold at every record boundary), plus
+# the kill/restart chaos tests, all race-enabled and cache-busted.
+test-recovery:
+	$(GO) test -race -count=1 ./internal/store/
+	$(GO) test -race -count=1 \
+		-run 'KillRestart|Resample|RoundSeedDerivation' \
+		./internal/protocol/
+	$(GO) test -race -count=1 -run 'Restore|Recover|Journal' \
+		./internal/mechanism/ ./internal/telemetry/evlog/
+
+# Short fuzzing passes over the wire-format, instance-validation and
+# WAL-recovery targets, seeded from the on-disk corpora under
+# testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test ./internal/protocol/ -run='^$$' -fuzz='^FuzzMessageDecode$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/protocol/ -run='^$$' -fuzz='^FuzzConnRecv$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run='^$$' -fuzz='^FuzzValidate$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store/ -run='^$$' -fuzz='^FuzzWALDecode$$' -fuzztime=$(FUZZTIME)

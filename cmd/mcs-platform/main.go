@@ -15,6 +15,15 @@
 // stderr); -events-out additionally persists it, and -manifest-out
 // writes a run-provenance manifest whose artifact index content-hashes
 // every file the run produced.
+//
+// With -state-dir the platform is durable: every budget debit, skill
+// update, and round checkpoint is journaled to a synced WAL (with
+// periodic snapshots, see -snapshot-every) before it takes effect, and
+// a restarted platform recovers the exact pre-crash state — cumulative
+// epsilon bit-for-bit — then resumes the campaign at the first round
+// it never began, with the same per-round seeds the unbroken run would
+// have used. Kill it with SIGKILL mid-campaign and start it again with
+// the same flags to watch the recovery path (see README).
 package main
 
 import (
@@ -63,6 +72,10 @@ func run(args []string) error {
 		eventsOut   = fs.String("events-out", "", "write the structured event stream as JSONL to this file (empty = stderr only)")
 		manifestOut = fs.String("manifest-out", "", "write a run-provenance manifest (config, seed, artifact hashes) to this file (empty = disabled)")
 		quiet       = fs.Bool("quiet", false, "suppress the event stream on stderr")
+		rounds      = fs.Int("rounds", 1, "auction rounds to run as one campaign (skills learned between rounds)")
+		budget      = fs.Float64("budget", 0, "total privacy budget across all rounds (0 = unmetered)")
+		stateDir    = fs.String("state-dir", "", "persist budget/skill/campaign state here and recover it on startup (empty = in-memory only)")
+		snapEvery   = fs.Int("snapshot-every", 64, "WAL records between automatic snapshots when -state-dir is set (0 = snapshot only at exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +109,80 @@ func run(args []string) error {
 		tracer = dphsrc.NewTelemetryTracer()
 	}
 
+	// Durable state: open (or create) the state directory and recover
+	// whatever a previous process journaled. Everything below threads
+	// off the recovered State: the accountant resumes its exact
+	// cumulative spend, the skill store its learned accuracies, and the
+	// campaign its round counter and base seed.
+	var (
+		st        *dphsrc.StateStore
+		persisted dphsrc.PersistedState
+	)
+	if *stateDir != "" {
+		var err error
+		st, err = dphsrc.OpenStateStore(*stateDir, dphsrc.StateSnapshotEvery(*snapEvery))
+		if err != nil {
+			return fmt.Errorf("opening state dir: %w", err)
+		}
+		defer func() { _ = st.Close() }()
+		persisted = st.State()
+		ev.Info("state.recovered",
+			dphsrc.EventString("dir", *stateDir),
+			dphsrc.EventFloat("spent", persisted.Budget.Spent),
+			dphsrc.EventInt64("releases", persisted.Budget.Releases),
+			dphsrc.EventInt("skills", len(persisted.Skills)),
+			dphsrc.EventInt("next_round", persisted.Campaign.NextRound),
+			dphsrc.EventInt64("torn_bytes", st.RecoveredTornBytes))
+	}
+
+	var acct *dphsrc.Accountant
+	if *budget > 0 {
+		var err error
+		if st != nil {
+			acct, err = dphsrc.RestoreAccountant(*budget, persisted.Budget)
+		} else {
+			acct, err = dphsrc.NewAccountant(*budget)
+		}
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			if err := acct.ObserveStore(st); err != nil {
+				return err
+			}
+		}
+	}
+
+	// A resumed campaign inherits its persisted shape: the round count
+	// and base seed it was started with override the flags, because the
+	// per-round seeds (and hence which winners were already paid) are
+	// derived from them.
+	roundsTotal := *rounds
+	campaignSeed := *seed
+	startRound := 0
+	if st != nil && persisted.Campaign.Rounds > 0 {
+		roundsTotal = persisted.Campaign.Rounds
+		campaignSeed = persisted.Campaign.Seed
+		startRound = persisted.Campaign.NextRound
+	}
+
+	// Multi-round (or durable) runs use the learning skill store the
+	// campaign updates between rounds; the one-shot in-memory path keeps
+	// the original hash-simulated skills.
+	multi := roundsTotal > 1 || st != nil
+	var skills *dphsrc.SkillStore
+	if multi {
+		def := (*skillLo + *skillHi) / 2
+		if st != nil {
+			skills = dphsrc.NewSkillStoreFromState(def, persisted.Skills)
+			if err := skills.ObserveStore(st); err != nil {
+				return err
+			}
+		} else {
+			skills = dphsrc.NewSkillStore(def)
+		}
+	}
+
 	thresholds := make([]float64, *tasks)
 	for j := range thresholds {
 		thresholds[j] = *delta
@@ -112,10 +199,18 @@ func run(args []string) error {
 		MinWorkers: *minWorkers,
 		Quorum:     *quorum,
 		IOTimeout:  *ioTimeout,
-		Seed:       *seed,
+		Seed:       campaignSeed,
+		Accountant: acct,
 		Events:     ev,
 		Telemetry:  reg,
 		Tracer:     tracer,
+		StartRound: startRound,
+	}
+	if skills != nil {
+		cfg.Skills = skills.Func()
+	}
+	if st != nil {
+		cfg.Checkpoints = st
 	}
 	platform, err := dphsrc.NewPlatform(cfg)
 	if err != nil {
@@ -144,7 +239,26 @@ func run(args []string) error {
 		}()
 	}
 
-	report, roundErr := platform.RunRound(ctx, ln)
+	var (
+		report   dphsrc.RoundReport
+		campaign dphsrc.ProtocolCampaignReport
+		roundErr error
+	)
+	if multi {
+		campaign, roundErr = platform.RunCampaignTolerant(ctx, ln, roundsTotal, skills)
+	} else {
+		report, roundErr = platform.RunRound(ctx, ln)
+	}
+
+	// A graceful exit compacts the state directory: fold the WAL into a
+	// final snapshot so the next start replays nothing. Deliberately
+	// best-effort — the WAL alone already recovers the same state, which
+	// is exactly what a SIGKILLed process relies on.
+	if st != nil {
+		if err := st.Snapshot(); err != nil {
+			ev.Error("state.snapshot_failed", dphsrc.EventString("error", err.Error()))
+		}
+	}
 
 	// Persist the event stream and manifest even for failed rounds: a
 	// failed run's provenance is exactly what the operator wants.
@@ -154,7 +268,7 @@ func run(args []string) error {
 		}
 	}
 	if *manifestOut != "" {
-		if err := writeManifest(*manifestOut, fs, platform, reg, *eventsOut, *traceOut, roundErr); err != nil {
+		if err := writeManifest(*manifestOut, fs, platform, acct, reg, *eventsOut, *traceOut, roundErr); err != nil {
 			return fmt.Errorf("writing manifest: %w", err)
 		}
 	}
@@ -163,6 +277,22 @@ func run(args []string) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	if multi {
+		out := map[string]any{
+			"rounds_total":     roundsTotal,
+			"start_round":      startRound,
+			"rounds_completed": len(campaign.Rounds),
+			"rounds_failed":    campaign.FailedRounds,
+			"total_payment":    campaign.TotalPayment,
+		}
+		if len(campaign.RoundErrors) > 0 {
+			out["round_errors"] = campaign.RoundErrors
+		}
+		if acct != nil {
+			out["epsilon_spent"] = acct.Spent()
+		}
+		return enc.Encode(out)
+	}
 	return enc.Encode(map[string]any{
 		"bidders":          report.Bidders,
 		"clearing_price":   report.Outcome.Price,
@@ -179,7 +309,7 @@ func run(args []string) error {
 // configuration, the resolved mechanism seed, the epsilon, and a
 // content-hash index over the artifacts the run produced. The manifest
 // is written last so every artifact hash is final.
-func writeManifest(path string, fs *flag.FlagSet, platform *dphsrc.Platform,
+func writeManifest(path string, fs *flag.FlagSet, platform *dphsrc.Platform, acct *dphsrc.Accountant,
 	reg *dphsrc.TelemetryRegistry, eventsOut, traceOut string, roundErr error) error {
 	m := dphsrc.NewManifest("mcs-platform", dphsrc.TelemetryWallClock())
 	fs.VisitAll(func(f *flag.Flag) {
@@ -189,6 +319,12 @@ func writeManifest(path string, fs *flag.FlagSet, platform *dphsrc.Platform,
 		m.SetConfig("round_error", roundErr.Error())
 	}
 	m.AddSeed("mechanism", platform.Seed())
+	if acct != nil {
+		// The manifest's budget block is what mcs-report -check
+		// reconciles against the event stream's FoldBudget ledger; the
+		// accountant's exact cumulative floats go in untouched.
+		m.SetBudget(acct.Ledger())
+	}
 	if eps, err := strconv.ParseFloat(fs.Lookup("eps").Value.String(), 64); err == nil {
 		m.AddEpsilons(eps)
 	}

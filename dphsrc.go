@@ -44,6 +44,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/privacy"
 	"github.com/dphsrc/dphsrc/internal/protocol"
 	"github.com/dphsrc/dphsrc/internal/stats"
+	"github.com/dphsrc/dphsrc/internal/store"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
 	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 	"github.com/dphsrc/dphsrc/internal/workload"
@@ -356,6 +357,15 @@ type ProtocolCampaignReport = protocol.CampaignReport
 // unknown workers.
 var NewSkillStore = protocol.NewSkillStore
 
+// NewSkillStoreFromState rebuilds a skill store from accuracies
+// recovered out of a state directory.
+var NewSkillStoreFromState = protocol.NewSkillStoreFromState
+
+// RoundSeed derives the mechanism seed for one campaign round from the
+// platform's base seed; a recovered campaign resuming at round k draws
+// exactly the randomness the unbroken run would have.
+var RoundSeed = protocol.RoundSeed
+
 // VerifyOutcome checks an auction outcome against its instance
 // (coverage, individual rationality, payment consistency).
 var VerifyOutcome = core.VerifyOutcome
@@ -404,9 +414,59 @@ type (
 // budget.
 var NewAccountant = mechanism.NewAccountant
 
+// RestoreAccountant rebuilds an accountant from persisted budget state
+// recovered by a StateStore, preserving the exact cumulative spend.
+var RestoreAccountant = mechanism.RestoreAccountant
+
 // ErrBudgetExhausted reports a refused release after the privacy budget
 // is spent.
 var ErrBudgetExhausted = mechanism.ErrBudgetExhausted
+
+// Durable state (internal/store): the WAL + snapshot persistence layer
+// behind -state-dir. All journal writes are synced CRC-framed records;
+// recovery replays WAL-over-snapshot and reproduces the accountant's
+// cumulative floats bit-for-bit.
+type (
+	// StateStore is the file-backed store: every record is journaled
+	// durably before it takes effect, with periodic atomic snapshots.
+	StateStore = store.FileStore
+	// StateStoreOption configures OpenStateStore.
+	StateStoreOption = store.FileOption
+	// PersistedState is everything recovered from a state directory.
+	PersistedState = store.State
+	// PersistedBudget is the accountant's recovered ledger core.
+	PersistedBudget = store.BudgetState
+	// PersistedCampaign tracks campaign progress across restarts.
+	PersistedCampaign = store.CampaignState
+	// PersistedRound is one completed round as journaled.
+	PersistedRound = store.CompletedRound
+	// BudgetJournal is the narrow interface the accountant journals
+	// spends and refusals through.
+	BudgetJournal = store.BudgetStore
+	// SkillJournal is the narrow interface skill updates persist
+	// through.
+	SkillJournal = store.SkillStore
+	// CampaignJournal is the narrow interface campaign checkpoints
+	// persist through.
+	CampaignJournal = store.CampaignStore
+	// MemStateStore is the in-memory reference backend (no journal).
+	MemStateStore = store.MemStore
+)
+
+// OpenStateStore opens (creating if needed) a state directory and
+// recovers its snapshot + WAL into memory.
+var OpenStateStore = store.Open
+
+// NewMemStateStore returns an empty in-memory store.
+var NewMemStateStore = store.NewMemStore
+
+// StateSnapshotEvery sets how many WAL records accumulate before an
+// automatic snapshot folds and resets the log.
+var StateSnapshotEvery = store.SnapshotEvery
+
+// ErrStateCorrupt reports store content failing its integrity checks
+// beyond the WAL's tolerated torn tail.
+var ErrStateCorrupt = store.ErrCorrupt
 
 // Observability (internal/telemetry): stdlib-only metrics and tracing
 // for the auction pipeline. All types follow the nil-is-nop convention:

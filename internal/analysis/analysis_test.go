@@ -127,6 +127,17 @@ func TestPolicyResolve(t *testing.T) {
 		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeUncheckedWrite, true},
 		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeFloatEq, true},
 		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeLeakSink, false},
+		// store: deterministic replay enforced (no clock, no global
+		// rand, no map-order dependence), every WAL write and close
+		// checked; no DP-tainted values flow through it, so the leak
+		// codes stay off.
+		{"github.com/dphsrc/dphsrc/internal/store", CodeGlobalRand, true},
+		{"github.com/dphsrc/dphsrc/internal/store", CodeWallClock, true},
+		{"github.com/dphsrc/dphsrc/internal/store", CodeMapOrder, true},
+		{"github.com/dphsrc/dphsrc/internal/store", CodeFloatEq, true},
+		{"github.com/dphsrc/dphsrc/internal/store", CodeUncheckedWrite, true},
+		{"github.com/dphsrc/dphsrc/internal/store", CodeUncheckedClose, true},
+		{"github.com/dphsrc/dphsrc/internal/store", CodeLeakSink, false},
 	}
 	for _, c := range cases {
 		if got := p.Resolve(c.pkg).Enabled(c.code); got != c.enabled {

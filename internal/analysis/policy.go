@@ -149,6 +149,7 @@ func (p *Policy) IsMessageType(typeName string) bool {
 //	internal/privacy         —     DPL001   FLT all    —
 //	internal/experiment      DET003 —       FLT001     —          (report emission must be order-stable)
 //	internal/protocol        —     ✓+DPL003 FLT001     ✓          (evlog is the only sanctioned log sink)
+//	internal/store           ✓     —        FLT001     ✓          (replay must be deterministic; every WAL write checked)
 //	internal/faultnet        —     —        —          ✓
 //	internal/telemetry       ✓     —        FLT001     ✓          (clock injection enforced, not blanket-allowed)
 //	cmd/*                    —     DPL all  —          ✓          (evlog is the only sanctioned log sink)
@@ -174,6 +175,12 @@ func DefaultPolicy() *Policy {
 				// the one place the bid legitimately enters a wire frame.
 				AllowedLeakFuncs: []string{"participateOnce"},
 			},
+			// The durability layer's contract is bitwise replay: recovery
+			// re-folds the same records to the same floats, so nothing in
+			// the package may read the clock, global randomness, or map
+			// iteration order, every float comparison is suspect, and an
+			// unchecked WAL write or close is a durability hole.
+			{Match: "internal/store", Enable: append(append([]string{CodeFloatEq}, det...), errs...)},
 			{Match: "internal/faultnet", Enable: errs},
 			// The observability layer must itself be deterministic: all
 			// wall-clock reads go through the injected Clock, with the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/dphsrc/dphsrc/internal/store"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
 	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
@@ -36,10 +37,18 @@ type Accountant struct {
 	// ev receives the audit trail (budget.spend / budget.refuse); nil
 	// no-ops.
 	ev *evlog.Logger
+	// journal receives the durability trail; nil no-ops. Unlike the
+	// audit log, a journal write failure is fatal to the debit: a spend
+	// the journal cannot make durable is refused.
+	journal store.BudgetStore
 	// releases / refusalCount mirror the counters for manifest export
 	// without reading telemetry back.
 	releases     int64
 	refusalCount int64
+	// recovered marks an accountant built from persisted state; it
+	// gates the budget.recover baseline event and restore record so
+	// fresh accountants pay no overhead.
+	recovered bool
 }
 
 // Instrument exports the ledger to a telemetry registry:
@@ -73,6 +82,36 @@ func (a *Accountant) ObserveEvents(lg *evlog.Logger) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.ev = lg
+	// A recovered accountant announces its baseline so the new
+	// process's event stream folds to the true cumulative ledger:
+	// FoldBudget seeds CumulativeEpsilon/FinalSpent from this event and
+	// sums subsequent budget.spend eps on top.
+	if a.recovered {
+		a.ev.Info(evlog.EventBudgetRecover,
+			evlog.Float("spent", a.spent),
+			evlog.Float("total", a.total),
+			evlog.Int64("releases", a.releases),
+			evlog.Int64("refusals", a.refusalCount))
+	}
+}
+
+// ObserveStore attaches a durability journal: every debit is recorded
+// — durably — before it is applied, and a journal failure refuses the
+// spend. If the accountant already carries state (a recovered ledger
+// attached to a fresh store directory), a budget.restore baseline is
+// journaled first so replay starts from the right cumulative value. A
+// nil journal is the nop.
+func (a *Accountant) ObserveStore(j store.BudgetStore) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.journal = j
+	if j != nil && a.recovered {
+		if err := j.RecordRestore(a.spent, a.releases, a.refusalCount); err != nil {
+			a.journal = nil
+			return fmt.Errorf("mechanism: journaling restore baseline: %w", err)
+		}
+	}
+	return nil
 }
 
 // NewAccountant returns an accountant with the given total epsilon
@@ -82,6 +121,31 @@ func NewAccountant(total float64) (*Accountant, error) {
 		return nil, fmt.Errorf("%w: total=%v", ErrBadBudget, total)
 	}
 	return &Accountant{total: total}, nil
+}
+
+// RestoreAccountant rebuilds an accountant from persisted budget state
+// (see store.BudgetState): same total as configured, cumulative spent
+// and counters exactly as journaled. The restored value must not
+// exceed the configured total — a smaller total than the one the state
+// was journaled under would mean the guarantee was already overdrawn.
+func RestoreAccountant(total float64, st store.BudgetState) (*Accountant, error) {
+	a, err := NewAccountant(total)
+	if err != nil {
+		return nil, err
+	}
+	if st.Spent < 0 || st.Releases < 0 || st.Refusals < 0 {
+		return nil, fmt.Errorf("%w: restored state spent=%v releases=%d refusals=%d",
+			ErrBadBudget, st.Spent, st.Releases, st.Refusals)
+	}
+	if st.Spent > total+1e-12 {
+		return nil, fmt.Errorf("%w: restored spent %v exceeds total %v",
+			ErrBudgetExhausted, st.Spent, total)
+	}
+	a.spent = st.Spent
+	a.releases = st.Releases
+	a.refusalCount = st.Refusals
+	a.recovered = a.releases > 0 || a.refusalCount > 0
+	return a, nil
 }
 
 // Spend debits one epsilon-DP release. It either debits fully or not at
@@ -94,6 +158,12 @@ func (a *Accountant) Spend(eps float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spent+eps > a.total+1e-12 {
+		if a.journal != nil {
+			// A refusal changes the ledger (the refusal counter), so it
+			// is journaled too; but refusals do not gate on the journal
+			// — the spend is being refused either way.
+			_ = a.journal.RecordRefuse(eps, a.spent)
+		}
 		a.refusals.Inc()
 		a.refusalCount++
 		a.ev.Warn(evlog.EventBudgetRefuse,
@@ -102,7 +172,17 @@ func (a *Accountant) Spend(eps float64) error {
 			evlog.Float("total", a.total))
 		return fmt.Errorf("%w: spent %v of %v, refusing eps=%v", ErrBudgetExhausted, a.spent, a.total, eps)
 	}
-	a.spent += eps
+	// Write-ahead: the debit's exact post-state is journaled before the
+	// ledger moves. If the journal cannot make it durable, the spend is
+	// refused — a release whose epsilon could be forgotten by a crash
+	// would break the cumulative DP guarantee.
+	next := a.spent + eps
+	if a.journal != nil {
+		if err := a.journal.RecordSpend(eps, next); err != nil {
+			return fmt.Errorf("mechanism: journaling spend: %w", err)
+		}
+	}
+	a.spent = next
 	a.spends.Inc()
 	a.releases++
 	a.epsSpent.Set(a.spent)

@@ -1,0 +1,131 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/dphsrc/dphsrc/internal/store"
+)
+
+// brokenJournal fails every write — the disk-full / dead-volume case.
+type brokenJournal struct{ err error }
+
+func (b brokenJournal) RecordRestore(float64, int64, int64) error { return b.err }
+func (b brokenJournal) RecordSpend(float64, float64) error        { return b.err }
+func (b brokenJournal) RecordRefuse(float64, float64) error       { return b.err }
+
+func TestAccountantJournalsLedger(t *testing.T) {
+	// Every debit is journaled write-ahead with its exact post-state;
+	// every refusal is journaled too. The journal's fold must mirror
+	// the live ledger bit-for-bit.
+	acct, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := store.NewMemStore()
+	if err := acct.ObserveStore(js); err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.3, 0.3, 0.3} {
+		if err := acct.Spend(eps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := acct.Spend(0.3); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overdraw returned %v, want ErrBudgetExhausted", err)
+	}
+	st := js.State()
+	if math.Float64bits(st.Budget.Spent) != math.Float64bits(acct.Spent()) {
+		t.Fatalf("journaled spent %v != live %v (bitwise)", st.Budget.Spent, acct.Spent())
+	}
+	if st.Budget.Releases != 3 || st.Budget.Refusals != 1 {
+		t.Fatalf("journaled counters %d/%d, want 3/1", st.Budget.Releases, st.Budget.Refusals)
+	}
+}
+
+func TestAccountantJournalFailureRefusesSpend(t *testing.T) {
+	// A spend the journal cannot make durable must not happen: the
+	// ledger is unchanged and the caller sees the journal's error.
+	acct, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	if err := acct.ObserveStore(brokenJournal{err: boom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.Spend(0.5); !errors.Is(err, boom) {
+		t.Fatalf("spend with a dead journal returned %v, want the journal error", err)
+	}
+	if acct.Spent() != 0 {
+		t.Fatalf("refused spend moved the ledger to %v", acct.Spent())
+	}
+	led := acct.Ledger()
+	if led.Releases != 0 {
+		t.Fatalf("refused spend counted as a release (%d)", led.Releases)
+	}
+}
+
+func TestRestoreAccountantValidation(t *testing.T) {
+	if _, err := RestoreAccountant(1, store.BudgetState{Spent: -0.1}); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("negative spent restored: %v", err)
+	}
+	if _, err := RestoreAccountant(1, store.BudgetState{Spent: 0.5, Releases: -1}); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("negative releases restored: %v", err)
+	}
+	if _, err := RestoreAccountant(1, store.BudgetState{Spent: 1.5, Releases: 3}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("overdrawn state restored: %v", err)
+	}
+
+	st := store.BudgetState{Spent: 0.625, Releases: 5, Refusals: 2}
+	acct, err := RestoreAccountant(2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(acct.Spent()) != math.Float64bits(st.Spent) {
+		t.Fatalf("restored spent %v != state %v (bitwise)", acct.Spent(), st.Spent)
+	}
+	led := acct.Ledger()
+	if led.Releases != 5 || led.Refusals != 2 || led.Total != 2 {
+		t.Fatalf("restored ledger %+v", led)
+	}
+}
+
+func TestRestoreAccountantReplaysBaselineIntoFreshJournal(t *testing.T) {
+	// A recovered accountant pointed at an empty journal (state-dir
+	// migration) records its baseline first, so a replay of the new
+	// journal alone reproduces the full cumulative ledger.
+	acct, err := RestoreAccountant(2, store.BudgetState{Spent: 0.75, Releases: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := store.NewMemStore()
+	if err := acct.ObserveStore(js); err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.Spend(0.25); err != nil {
+		t.Fatal(err)
+	}
+	st := js.State()
+	if math.Float64bits(st.Budget.Spent) != math.Float64bits(acct.Spent()) {
+		t.Fatalf("journal %v != accountant %v after restore baseline", st.Budget.Spent, acct.Spent())
+	}
+	if st.Budget.Releases != 4 {
+		t.Fatalf("journal releases %d, want 4 (3 restored + 1 live)", st.Budget.Releases)
+	}
+
+	// If even the baseline cannot be journaled, the journal must be
+	// detached rather than half-attached.
+	acct2, err := RestoreAccountant(2, store.BudgetState{Spent: 0.75, Releases: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("no space")
+	if err := acct2.ObserveStore(brokenJournal{err: boom}); !errors.Is(err, boom) {
+		t.Fatalf("baseline journal failure returned %v", err)
+	}
+	if err := acct2.Spend(0.25); err != nil {
+		t.Fatalf("spend after detached journal: %v", err)
+	}
+}

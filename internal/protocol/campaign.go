@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"github.com/dphsrc/dphsrc/internal/crowd"
+	"github.com/dphsrc/dphsrc/internal/store"
 	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
 
@@ -26,6 +28,11 @@ type SkillStore struct {
 	def float64
 	// alpha is the EWMA blending weight of the newest estimate.
 	alpha float64
+	// journal persists each blended estimate; nil no-ops. Unlike the
+	// budget journal, a skill journal failure is fatal to the update —
+	// a half-persisted skill table would bias a recovered campaign's
+	// winner selection.
+	journal store.SkillStore
 }
 
 // NewSkillStore returns a store that assumes defaultAccuracy for
@@ -39,6 +46,43 @@ func NewSkillStore(defaultAccuracy float64) *SkillStore {
 		def:   defaultAccuracy,
 		alpha: 0.5,
 	}
+}
+
+// NewSkillStoreFromState rebuilds a skill store from persisted worker
+// accuracies (see store.State.Skills): same default and blending as a
+// fresh store, but the table starts where the previous process left
+// off.
+func NewSkillStoreFromState(defaultAccuracy float64, skills map[string]float64) *SkillStore {
+	s := NewSkillStore(defaultAccuracy)
+	for id, a := range skills {
+		s.acc[id] = a
+	}
+	return s
+}
+
+// ObserveStore attaches a durability journal: every blended estimate
+// is persisted as it is written, and any entries the store already
+// holds are journaled first (in sorted worker order, for a
+// deterministic log) so a fresh state directory adopts the full table.
+func (s *SkillStore) ObserveStore(j store.SkillStore) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+	if j == nil || len(s.acc) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(s.acc))
+	for id := range s.acc {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := j.RecordSkill(id, s.acc[id]); err != nil {
+			s.journal = nil
+			return fmt.Errorf("protocol: journaling skill baseline: %w", err)
+		}
+	}
+	return nil
 }
 
 // Get returns the current accuracy estimate for a worker.
@@ -92,7 +136,13 @@ func (s *SkillStore) UpdateFromReports(reports []crowd.Report, workerIDs []strin
 		if !ok {
 			old = s.def
 		}
-		s.acc[id] = (1-s.alpha)*old + s.alpha*res.Accuracy[i]
+		blended := (1-s.alpha)*old + s.alpha*res.Accuracy[i]
+		if s.journal != nil {
+			if err := s.journal.RecordSkill(id, blended); err != nil {
+				return fmt.Errorf("protocol: journaling skill update for %s: %w", id, err)
+			}
+		}
+		s.acc[id] = blended
 	}
 	return nil
 }
@@ -120,8 +170,12 @@ func (p *Platform) RunCampaign(ctx context.Context, ln net.Listener, rounds int,
 	if rounds <= 0 {
 		return CampaignReport{}, ErrNoRounds
 	}
+	start, err := p.campaignStart(rounds)
+	if err != nil {
+		return CampaignReport{}, err
+	}
 	var campaign CampaignReport
-	for round := 0; round < rounds; round++ {
+	for round := start; round < rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return campaign, err
 		}
@@ -139,6 +193,34 @@ func (p *Platform) RunCampaign(ctx context.Context, ln net.Listener, rounds int,
 		p.campaignRoundEvent(round+1, rounds, rep)
 	}
 	return campaign, nil
+}
+
+// campaignStart resolves where this campaign begins — round 0 for a
+// fresh process, cfg.StartRound when resuming recovered state — and
+// journals the campaign shape on a fresh start so a restarted process
+// can re-derive the per-round seeds. A resume point at or past the
+// round count means the previous process already finished (or began)
+// every round; the campaign runs nothing and reports that.
+func (p *Platform) campaignStart(rounds int) (int, error) {
+	start := p.cfg.StartRound
+	if start >= rounds {
+		p.cfg.Events.Info("campaign.resumed_complete",
+			evlog.Int("next_round", start),
+			evlog.Int("rounds", rounds))
+		return rounds, nil
+	}
+	if p.cfg.Checkpoints != nil {
+		if start == 0 {
+			if err := p.cfg.Checkpoints.RecordCampaignStart(rounds, p.cfg.Seed); err != nil {
+				return 0, fmt.Errorf("protocol: checkpointing campaign start: %w", err)
+			}
+		} else {
+			p.cfg.Events.Info("campaign.resumed",
+				evlog.Int("next_round", start),
+				evlog.Int("rounds", rounds))
+		}
+	}
+	return start, nil
 }
 
 // campaignRoundEvent records one completed campaign round. The payment
@@ -162,8 +244,12 @@ func (p *Platform) RunCampaignTolerant(ctx context.Context, ln net.Listener, rou
 	if rounds <= 0 {
 		return CampaignReport{}, ErrNoRounds
 	}
+	start, err := p.campaignStart(rounds)
+	if err != nil {
+		return CampaignReport{}, err
+	}
 	var campaign CampaignReport
-	for round := 0; round < rounds; round++ {
+	for round := start; round < rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return campaign, err
 		}

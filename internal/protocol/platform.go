@@ -14,6 +14,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/store"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
 	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
 )
@@ -93,6 +94,20 @@ type PlatformConfig struct {
 	// Tracer, when non-nil, records one span tree per round
 	// (round -> collect-bids / auction / labels / aggregate).
 	Tracer *telemetry.Tracer
+	// Checkpoints, when non-nil, journals campaign progress: a
+	// round.begin record before each round attempt and a round.complete
+	// record (payment, paid worker IDs) after. A begin that cannot be
+	// journaled fails the round before any side effects — a round whose
+	// attempt could be forgotten by a crash might re-pay its winners on
+	// resume.
+	Checkpoints store.CampaignStore
+	// StartRound is the first round index this platform will run — 0
+	// for a fresh campaign, store.CampaignState.NextRound when resuming
+	// a recovered one. Each round derives its mechanism randomness from
+	// RoundSeed(Seed, index), so a resumed campaign re-creates the
+	// exact per-round seeds of the unbroken run without ever re-drawing
+	// a round it already paid.
+	StartRound int
 }
 
 // validate checks the configuration.
@@ -112,8 +127,29 @@ func (c *PlatformConfig) validate() error {
 		return fmt.Errorf("%w: BidWindow=%v", ErrBadPlatform, c.BidWindow)
 	case c.Quorum < 0:
 		return fmt.Errorf("%w: Quorum=%d", ErrBadPlatform, c.Quorum)
+	case c.StartRound < 0:
+		return fmt.Errorf("%w: StartRound=%d", ErrBadPlatform, c.StartRound)
 	}
 	return nil
+}
+
+// RoundSeed derives the mechanism seed for one round from the
+// campaign's base seed. The derivation is a splitmix64 finalizer — a
+// bijective avalanche mix — so distinct rounds get decorrelated
+// streams while any process holding (base, round) re-derives the
+// identical seed. This is what lets a killed-and-restarted campaign
+// resume at round k with exactly the randomness the unbroken run would
+// have used, instead of re-seeding every round from the base value
+// (which both correlated rounds and made resumption re-draw round 0's
+// stream forever).
+func RoundSeed(base int64, round int) int64 {
+	z := uint64(base) + (uint64(round)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // RoundFaults counts the per-session failures a round tolerated
@@ -144,6 +180,10 @@ func (f RoundFaults) Total() int {
 
 // RoundReport summarizes one completed auction round.
 type RoundReport struct {
+	// Round is the campaign-wide round index (starting at
+	// cfg.StartRound for a recovered campaign), the same index
+	// journaled in the store's round.begin / round.complete records.
+	Round int
 	// Bidders is the number of accepted bids.
 	Bidders int
 	// Outcome is the auction result; winner indices refer to bidders
@@ -165,6 +205,12 @@ type RoundReport struct {
 type Platform struct {
 	cfg PlatformConfig
 	met platformMetrics
+	// roundMu guards nextRound, the campaign-wide index handed to the
+	// next round attempt. It starts at cfg.StartRound and advances once
+	// per attempt, completed or not, matching the journal's
+	// skip-begun-rounds resume rule.
+	roundMu   sync.Mutex
+	nextRound int
 }
 
 // NewPlatform validates the configuration and returns a Platform.
@@ -182,7 +228,7 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		//mcslint:allow MCS-DET002 fallback seed for callers that supplied none; the chosen value is logged and exported via mcs_protocol_seed_info so the run stays replayable after the fact
 		cfg.Seed = time.Now().UnixNano()
 	}
-	p := &Platform{cfg: cfg, met: newPlatformMetrics(cfg.Telemetry)}
+	p := &Platform{cfg: cfg, met: newPlatformMetrics(cfg.Telemetry), nextRound: cfg.StartRound}
 	cfg.Events.Info("platform.seed", evlog.Int64("seed", cfg.Seed))
 	// An int64 seed exceeds float64's exact-integer range, so the value
 	// rides in a label (info-style gauge) rather than the sample.
@@ -205,6 +251,18 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 // construction (the configured value, or the clock-derived fallback),
 // so callers can record it in a run manifest.
 func (p *Platform) Seed() int64 { return p.cfg.Seed }
+
+// claimRound hands out the next campaign-wide round index. Every
+// attempt consumes an index — degraded rounds too — so the journal's
+// resume point (one past the highest begun round) and the live
+// counter always agree.
+func (p *Platform) claimRound() int {
+	p.roundMu.Lock()
+	defer p.roundMu.Unlock()
+	r := p.nextRound
+	p.nextRound++
+	return r
+}
 
 // session is one worker's connection state.
 type session struct {
@@ -235,19 +293,47 @@ func (p *Platform) RunRound(ctx context.Context, ln net.Listener) (RoundReport, 
 func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (RoundReport, []crowd.Report, error) {
 	reg := p.cfg.Telemetry
 	ev := p.cfg.Events
+	round := p.claimRound()
+	if p.cfg.Checkpoints != nil {
+		// The begin checkpoint is write-ahead: a round whose attempt is
+		// not durable must not run, or a crash could re-run (and re-pay)
+		// it on resume.
+		if err := p.cfg.Checkpoints.RecordRoundBegin(round); err != nil {
+			return RoundReport{Round: round}, nil, fmt.Errorf("protocol: checkpointing round %d begin: %w", round, err)
+		}
+	}
 	start := reg.Now()
 	root := p.cfg.Tracer.StartSpan("round")
-	ev.Info("round.start", evlog.Int64("span", root.ID()))
-	rep, reports, err := p.roundPhases(ctx, ln, root)
+	ev.Info("round.start", evlog.Int64("span", root.ID()), evlog.Int("round", round))
+	rep, reports, err := p.roundPhases(ctx, ln, round, root)
+	rep.Round = round
 	root.End()
 	p.met.roundSeconds.Observe(reg.Since(start))
 	switch {
 	case err == nil:
+		if p.cfg.Checkpoints != nil {
+			// Journal the completion with the paid winners before the
+			// report is released: if this write fails, the round stays
+			// "begun" in the journal and resume skips it — which is the
+			// safe reading, since its payments have already gone out.
+			paid := make([]string, 0, len(rep.Outcome.Winners))
+			for _, w := range rep.Outcome.Winners {
+				if w >= 0 && w < len(rep.WorkerIDs) {
+					paid = append(paid, rep.WorkerIDs[w])
+				}
+			}
+			if cerr := p.cfg.Checkpoints.RecordRoundComplete(round, rep.Outcome.TotalPayment, paid); cerr != nil {
+				p.met.roundsFailed.Inc()
+				ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.String("reason", "checkpoint"))
+				return rep, reports, fmt.Errorf("protocol: checkpointing round %d completion: %w", round, cerr)
+			}
+		}
 		p.met.roundsCompleted.Inc()
 		// The clearing price is the mechanism's DP output — the one
 		// sanctioned release — so it rides in an Aggregate wrapper.
 		ev.Info("round.complete",
 			evlog.Int64("span", root.ID()),
+			evlog.Int("round", round),
 			evlog.Int("bidders", rep.Bidders),
 			evlog.Int("winners", len(rep.Outcome.Winners)),
 			evlog.Aggregate("clearing_price", rep.Outcome.Price),
@@ -286,8 +372,9 @@ func degradeReason(err error) string {
 
 // roundPhases runs the four phases of a round — collect-bids, auction,
 // labels, aggregate — each timed into mcs_protocol_phase_seconds and
-// traced as a child of root.
-func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telemetry.Span) (RoundReport, []crowd.Report, error) {
+// traced as a child of root. round is the campaign-wide index that
+// roots this round's mechanism randomness.
+func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, root *telemetry.Span) (RoundReport, []crowd.Report, error) {
 	reg := p.cfg.Telemetry
 	ev := p.cfg.Events
 	// phaseDone times a phase into the histogram and mirrors it as a
@@ -345,7 +432,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 
 	auctionStart := reg.Now()
 	auctionSpan := root.StartChild("auction")
-	outcome, inst, err := p.runAuctionPhase(sessions, auctionSpan.ID())
+	outcome, inst, err := p.runAuctionPhase(sessions, round, auctionSpan.ID())
 	phaseDone("auction", auctionSpan, p.met.phaseAuction, auctionStart)
 	if err != nil {
 		return RoundReport{Faults: faults}, nil, err
@@ -461,9 +548,12 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, root *telem
 // runAuctionPhase assembles the instance from the accepted bids, debits
 // the privacy accountant, and runs the DP-hSRC auction. The price draw
 // is the privacy-relevant release: the accountant is debited exactly
-// once, immediately before it. spanID labels the phase's events for
-// log<->trace correlation.
-func (p *Platform) runAuctionPhase(sessions []*session, spanID int64) (core.Outcome, core.Instance, error) {
+// once, immediately before it. The mechanism randomness is rooted at
+// RoundSeed(cfg.Seed, round), so every round draws a distinct stream
+// and a recovered campaign re-derives the same stream for the same
+// round index. spanID labels the phase's events for log<->trace
+// correlation.
+func (p *Platform) runAuctionPhase(sessions []*session, round int, spanID int64) (core.Outcome, core.Instance, error) {
 	inst, err := p.buildInstance(sessions)
 	if err != nil {
 		return core.Outcome{}, core.Instance{}, err
@@ -479,7 +569,7 @@ func (p *Platform) runAuctionPhase(sessions []*session, spanID int64) (core.Outc
 			return core.Outcome{}, core.Instance{}, err
 		}
 	}
-	outcome := auction.Run(rand.New(rand.NewSource(p.cfg.Seed)))
+	outcome := auction.Run(rand.New(rand.NewSource(RoundSeed(p.cfg.Seed, round))))
 	// The drawn price is the mechanism's DP-sanctioned release; it still
 	// travels wrapped so the stream stays uniformly redaction-typed.
 	p.cfg.Events.Debug("round.price_drawn",

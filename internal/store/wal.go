@@ -1,0 +1,205 @@
+// Package store is the platform's durable state layer: an append-only,
+// CRC-framed write-ahead log with periodic snapshots and atomic
+// rotation, exposed through narrow interfaces (BudgetStore,
+// SkillStore, CampaignStore) with in-memory and file-backed
+// implementations.
+//
+// The layer exists because the paper's DP guarantee is a *cumulative*
+// budget property: a platform restart that forgets spent epsilon
+// silently breaks Theorem 2's privacy accounting. Every accountant
+// debit, skill update, and campaign checkpoint is journaled before it
+// is applied, so recovery replays WAL-over-snapshot to exactly the
+// pre-crash state — the same float additions in the same order, hence
+// bit-for-bit equal to both the live accountant and the evlog
+// budget.spend fold (evlog.FoldBudget).
+//
+// Design rules, shared with the rest of the repo:
+//
+//  1. stdlib only — no embedded databases.
+//  2. Deterministic — no clocks, no randomness, no map-order output
+//     (enforced by mcs-lint's determinism rules for this package).
+//  3. Crash-consistent at every byte: appends are synced frames, a
+//     torn tail is detected by CRC and truncated on open, snapshots
+//     are written to a temp file and renamed over the old one, and
+//     replay skips records the snapshot already folded (LSNs never
+//     reset), so a crash between snapshot and WAL rotation cannot
+//     double-apply.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Store errors.
+var (
+	// ErrCorrupt reports store content that fails its integrity checks
+	// beyond the WAL's tolerated torn tail (snapshot CRC mismatch,
+	// replay fold disagreeing with a journaled cumulative value).
+	ErrCorrupt = errors.New("store: corrupt state")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrTooLarge reports a record payload over MaxRecordBytes.
+	ErrTooLarge = errors.New("store: record exceeds size bound")
+)
+
+// frameHeaderBytes is the per-record framing overhead: a 4-byte
+// little-endian payload length followed by a 4-byte IEEE CRC32 of the
+// payload.
+const frameHeaderBytes = 8
+
+// MaxRecordBytes bounds one WAL payload. The bound is a corruption
+// firewall as much as a sanity limit: a torn or flipped length field
+// must not make the decoder allocate gigabytes.
+const MaxRecordBytes = 1 << 20
+
+// ScanFrames decodes the valid prefix of a WAL image. It returns the
+// payloads of every intact frame and the number of bytes that prefix
+// occupies. Decoding stops — without error — at the first violation:
+// a short header, a zero or oversized length, a short payload, or a
+// CRC mismatch. Everything from that point on is treated as a torn
+// write and ignored; callers repair by truncating to the returned
+// length. The scanner never panics on arbitrary input (FuzzWALDecode).
+func ScanFrames(data []byte) (payloads [][]byte, validLen int) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeaderBytes {
+			return payloads, off
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 || n > MaxRecordBytes {
+			return payloads, off
+		}
+		if uint32(len(rest)-frameHeaderBytes) < n {
+			return payloads, off
+		}
+		payload := rest[frameHeaderBytes : frameHeaderBytes+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, off
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderBytes + int(n)
+	}
+}
+
+// AppendFrame appends one CRC-framed payload to buf and returns the
+// extended slice. The inverse of one ScanFrames step.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// WAL is an append-only CRC-framed record log backed by one file.
+// Opening scans the existing image, truncates any torn tail, and
+// positions appends after the last intact frame. Not safe for
+// concurrent use; FileStore serializes access above it.
+type WAL struct {
+	f    *os.File
+	size int64
+	sync bool
+	// TornBytes is how many trailing bytes the open-time scan
+	// discarded as a torn or corrupt tail (0 for a clean log).
+	TornBytes int64
+}
+
+// OpenWAL opens (creating if absent) the log at path, repairs any torn
+// tail, and returns the intact payloads in append order alongside the
+// writable log. sync makes every append an fsynced write — the
+// durability the budget journal requires; tests may turn it off for
+// speed.
+func OpenWAL(path string, sync bool) (*WAL, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	payloads, validLen := ScanFrames(data)
+	w := &WAL{f: f, size: int64(validLen), sync: sync, TornBytes: int64(len(data) - validLen)}
+	if w.TornBytes > 0 {
+		if err := f.Truncate(w.size); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: repairing torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(w.size, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	// Copy payloads out: they alias the scratch read buffer.
+	out := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		out[i] = append([]byte(nil), p...)
+	}
+	return w, out, nil
+}
+
+// Append frames one payload onto the log. With sync enabled the write
+// is fsynced before Append returns: once the caller sees nil, the
+// record survives a crash at any later point.
+func (w *WAL) Append(payload []byte) error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	if len(payload) == 0 || len(payload) > MaxRecordBytes {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	frame := AppendFrame(make([]byte, 0, frameHeaderBytes+len(payload)), payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	w.size += int64(len(frame))
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset empties the log after a snapshot has captured its contents.
+// Record LSNs keep rising across resets, so a crash that leaves stale
+// frames behind (or a reset that never happens) is harmless: replay
+// skips anything the snapshot already folded.
+func (w *WAL) Reset() error {
+	if w.f == nil {
+		return ErrClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = 0
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Size returns the log's current intact length in bytes.
+func (w *WAL) Size() int64 { return w.size }
+
+// Close closes the underlying file. Append-side state is already on
+// disk (every append is synced), so Close is not a durability point.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -282,6 +282,47 @@ func TestFoldBudgetRejectsMissingFields(t *testing.T) {
 	if _, err := FoldBudget(events); err == nil {
 		t.Fatal("missing eps accepted")
 	}
+	recover := []Event{{Seq: 1, Level: "info", Name: EventBudgetRecover}}
+	if _, err := FoldBudget(recover); err == nil {
+		t.Fatal("budget.recover without spent accepted")
+	}
+}
+
+func TestFoldBudgetRecoverBaseline(t *testing.T) {
+	// A stream written by a restarted process opens with budget.recover;
+	// the fold continues from that baseline with the same exact float
+	// additions, so it reconciles with the unbroken run's ledger.
+	l := New(WithClock(testClock()))
+	l.Info(EventBudgetRecover,
+		Float("spent", 0.75), Float("total", 2.0),
+		Int64("releases", 3), Int64("refusals", 1))
+	spent := 0.75
+	for i := 0; i < 2; i++ {
+		spent += 0.125
+		l.Info(EventBudgetSpend, Float("eps", 0.125), Float("spent", spent), Float("total", 2.0))
+	}
+
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := FoldBudget(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Releases != 5 || led.Refusals != 1 {
+		t.Fatalf("ledger counters = %+v, want 5 releases / 1 refusal", led)
+	}
+	if led.CumulativeEpsilon != spent || led.FinalSpent != spent {
+		t.Fatalf("fold %v/%v, want %v exactly", led.CumulativeEpsilon, led.FinalSpent, spent)
+	}
+	if led.Total != 2.0 {
+		t.Fatalf("Total = %v", led.Total)
+	}
 }
 
 func TestConcurrentEmitKeepsStreamValid(t *testing.T) {

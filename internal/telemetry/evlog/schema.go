@@ -28,6 +28,12 @@ const (
 	// EventBudgetRefuse is emitted when a debit would overdraw the
 	// budget, with fields eps, spent, and total.
 	EventBudgetRefuse = "budget.refuse"
+	// EventBudgetRecover is emitted once when a recovered accountant
+	// attaches to an event log, with fields spent, total, releases, and
+	// refusals: the pre-restart ledger baseline. FoldBudget seeds the
+	// cumulative ledger from it, so a post-restart stream still
+	// reconciles bit-for-bit with the accountant.
+	EventBudgetRecover = "budget.recover"
 )
 
 // Event is one parsed JSONL line.
@@ -283,10 +289,30 @@ type BudgetLedger struct {
 // FoldBudget reconstructs the privacy-budget ledger from an event
 // stream. It errors when a budget.spend event is missing its eps or
 // spent field; streams with no budget events fold to the zero ledger.
+// A budget.recover event re-seeds the ledger with the pre-restart
+// baseline: cumulative epsilon and counters continue from the
+// recovered values, so a stream written by a restarted process folds
+// to the same ledger as the unbroken run.
 func FoldBudget(events []Event) (BudgetLedger, error) {
 	var led BudgetLedger
 	for _, e := range events {
 		switch e.Name {
+		case EventBudgetRecover:
+			spent, ok := e.Float("spent")
+			if !ok {
+				return led, fmt.Errorf("%w: budget.recover seq %d missing spent", ErrBadLedger, e.Seq)
+			}
+			led.CumulativeEpsilon = spent
+			led.FinalSpent = spent
+			if releases, ok := e.Int("releases"); ok {
+				led.Releases = int(releases)
+			}
+			if refusals, ok := e.Int("refusals"); ok {
+				led.Refusals = int(refusals)
+			}
+			if total, ok := e.Float("total"); ok {
+				led.Total = total
+			}
 		case EventBudgetSpend:
 			eps, ok := e.Float("eps")
 			if !ok {
