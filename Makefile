@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race test-recovery fuzz-smoke bench bench-diff
+.PHONY: all build vet lint lint-sarif test race test-recovery fuzz-smoke bench bench-diff
 
 all: build vet lint test
 
@@ -11,12 +11,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-aware static analysis: determinism, dp-leak, float-safety and
-# errcheck-lite diagnostics go vet cannot see. See DESIGN.md
-# ("Machine-checked invariants") for the code catalogue and the
-# //mcslint:allow annotation syntax.
+# Domain-aware static analysis: determinism, dp-leak, float-safety,
+# errcheck-lite, concurrency-safety and durability-ordering diagnostics
+# go vet cannot see. See DESIGN.md ("Machine-checked invariants") for
+# the code catalogue and the //mcslint:allow annotation syntax.
 lint:
 	$(GO) run ./cmd/mcs-lint ./...
+
+# Same suite, SARIF 2.1.0 output for code-scanning UIs. Always writes
+# mcs-lint.sarif (empty results on a clean tree) and preserves the
+# lint exit status.
+lint-sarif:
+	$(GO) run ./cmd/mcs-lint -q -format sarif ./... > mcs-lint.sarif
 
 # The default test target runs with the race detector: the distributed
 # protocol and the fault-injection suite are exactly the code most

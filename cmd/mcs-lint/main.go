@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	mcs-lint [-C dir] [packages ...]
+//	mcs-lint [-C dir] [-format text|json|sarif] [packages ...]
 //
-// Packages default to ./... . Diagnostics print one per line as
+// Packages default to ./... . With the default text format,
+// diagnostics print one per line as
 //
 //	CODE file:line:col: message
 //
-// and the exit status is 1 when any diagnostic is found, 2 on driver
+// -format json emits a JSON array of {code, path, line, col, message};
+// -format sarif emits a SARIF 2.1.0 log (consumed by code-scanning
+// UIs, uploaded as a CI artifact). Both are deterministic: diagnostics
+// are sorted by path, line, column, code.
+//
+// The exit status is 1 when any diagnostic is found, 2 on driver
 // errors, 0 on a clean tree. Justified exceptions are annotated in the
-// source with `//mcslint:allow CODE reason`; see DESIGN.md
+// source with `//mcslint:allow CODE[,CODE] reason`; see DESIGN.md
 // ("Machine-checked invariants") for the code catalogue.
 package main
 
@@ -35,7 +41,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory to run in (module root)")
 	quiet := fs.Bool("q", false, "suppress the summary line")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "mcs-lint: unknown -format %q (want text, json, or sarif)\n", *format)
 		return 2
 	}
 	patterns := fs.Args()
@@ -47,15 +60,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diags := analysis.Run(pkgs, analysis.DefaultPolicy())
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
+	for i := range diags {
 		// Print paths relative to the working directory when possible:
 		// shorter, stable across checkouts, and clickable in CI logs.
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, d.Path); err == nil && !filepath.IsAbs(rel) {
-				d.Path = rel
+			if rel, err := filepath.Rel(cwd, diags[i].Path); err == nil && !filepath.IsAbs(rel) {
+				diags[i].Path = rel
 			}
 		}
-		fmt.Fprintln(stdout, d.String())
+	}
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "mcs-lint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := writeSARIF(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "mcs-lint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		if !*quiet {

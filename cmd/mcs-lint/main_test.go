@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,6 +57,103 @@ func Double(x int) int { return 2 * x }
 	}
 	if out.Len() != 0 {
 		t.Fatalf("unexpected diagnostics on clean module:\n%s", out.String())
+	}
+}
+
+// writeViolatingModule plants one MCS-DET002 violation in a throwaway
+// module on the internal/core policy row.
+func writeViolatingModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/internal/core\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "clock.go"), `package core
+
+import "time"
+
+// Stamp reads the wall clock in a deterministic package.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	return dir
+}
+
+// TestRunFormatJSON checks -format json emits a parseable array with
+// the diagnostic's stable fields.
+func TestRunFormatJSON(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", dir, "-q", "-format", "json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr=%s", code, errOut.String())
+	}
+	var diags []struct {
+		Code    string `json:"code"`
+		Path    string `json:"path"`
+		Line    int    `json:"line"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Code != "MCS-DET002" || diags[0].Line != 6 {
+		t.Fatalf("unexpected diagnostics: %+v", diags)
+	}
+}
+
+// TestRunFormatSARIF checks -format sarif emits a 2.1.0 log whose rule
+// catalogue covers the reported code.
+func TestRunFormatSARIF(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", dir, "-q", "-format", "sarif", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr=%s", code, errOut.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "mcs-lint" {
+		t.Fatalf("driver name = %q", r.Tool.Driver.Name)
+	}
+	if len(r.Results) != 1 || r.Results[0].RuleID != "MCS-DET002" {
+		t.Fatalf("unexpected results: %+v", r.Results)
+	}
+	ruleKnown := false
+	for _, rule := range r.Tool.Driver.Rules {
+		if rule.ID == "MCS-DET002" {
+			ruleKnown = true
+		}
+	}
+	if !ruleKnown {
+		t.Fatal("reported ruleId missing from the driver's rule catalogue")
+	}
+}
+
+// TestRunFormatBad checks the driver rejects unknown formats.
+func TestRunFormatBad(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "xml"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }
 

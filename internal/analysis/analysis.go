@@ -1,5 +1,5 @@
 // Package analysis implements mcs-lint, the repo's domain-aware static
-// analysis suite. Four analyzers guard the invariants the DP-hSRC
+// analysis suite. Six analyzers guard the invariants the DP-hSRC
 // reproduction depends on but that go vet cannot see:
 //
 //   - determinism (MCS-DET001..003): declared-deterministic packages
@@ -13,6 +13,9 @@
 //     bid-submission and payment-announcement paths; in the protocol
 //     and command-line layers the redaction-safe evlog logger is the
 //     only sanctioned sink, and direct stdlib log use is flagged.
+//     The taint step is interprocedural: call-graph summaries
+//     (callgraph.go) carry taint through helper returns and into
+//     callee sink parameters.
 //   - float-safety (MCS-FLT001..003): the mechanism's correctness
 //     lives in log-space floating point; float equality and raw
 //     exponentiation of score differences outside the log-space
@@ -20,6 +23,16 @@
 //   - errcheck-lite (MCS-ERR001..002): unchecked error returns on
 //     conn/writer writes and Close in the protocol, fault-injection
 //     and command-line layers.
+//   - concurrency-safety (MCS-CON001..004): goroutines with no stop
+//     path, captured variables written by a goroutine and read
+//     unsynchronized by its spawner, mutexes copied by value or held
+//     across blocking network/channel waits, and time.Sleep polling
+//     loops in hot paths. Built on the call-graph summaries so a
+//     blocking callee three frames down still counts.
+//   - durability-ordering (MCS-DUR001..003): the PR-6 crash-safety
+//     invariants enforced mechanically — files fsynced before rename,
+//     durable ledger fields mutated only after a WAL append in the
+//     same function, and (*os.File).Sync errors checked.
 //
 // Diagnostics carry stable codes so that CI failures are greppable and
 // so that `//mcslint:allow CODE reason` annotations (see
@@ -69,6 +82,10 @@ type Pass struct {
 	// Policy is the full policy, for tables shared across packages
 	// (sensitive fields, message types).
 	Policy *Policy
+	// Prog is the interprocedural index over every package in the run:
+	// call-graph summaries for cross-function taint, blocking and
+	// durability effects.
+	Prog *Program
 
 	allows *allowSet
 	out    *[]Diagnostic
@@ -110,7 +127,22 @@ func Analyzers() []*Analyzer {
 		DPLeakAnalyzer(),
 		FloatSafetyAnalyzer(),
 		ErrCheckAnalyzer(),
+		ConcurrencyAnalyzer(),
+		DurabilityAnalyzer(),
 	}
+}
+
+// knownCodes is the set of codes an //mcslint:allow annotation may
+// legally reference: everything the suite can emit, plus the
+// annotation-hygiene code itself.
+func knownCodes() map[string]bool {
+	known := map[string]bool{CodeBadAllow: true}
+	for _, a := range Analyzers() {
+		for _, c := range a.Codes {
+			known[c] = true
+		}
+	}
+	return known
 }
 
 // Run applies the suite to every loaded package under the given policy
@@ -118,6 +150,7 @@ func Analyzers() []*Analyzer {
 // and code.
 func Run(pkgs []*Package, policy *Policy) []Diagnostic {
 	var out []Diagnostic
+	prog := BuildProgram(pkgs, policy)
 	for _, pkg := range pkgs {
 		rule := policy.Resolve(pkg.Path)
 		allows := collectAllows(pkg.Fset, pkg.Files, &out)
@@ -129,6 +162,7 @@ func Run(pkgs []*Package, policy *Policy) []Diagnostic {
 			Info:   pkg.Info,
 			Rule:   rule,
 			Policy: policy,
+			Prog:   prog,
 			allows: allows,
 			out:    &out,
 		}

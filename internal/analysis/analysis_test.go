@@ -26,6 +26,9 @@ var fixtures = []struct {
 	{"floatbad", "fixtures/internal/stats/floatbad"},
 	{"errbad", "fixtures/internal/protocol/errbad"},
 	{"allowme", "fixtures/internal/core/allowme"},
+	{"conbad", "fixtures/internal/protocol/conbad"},
+	{"durbad", "fixtures/internal/store/durbad"},
+	{"interleak", "fixtures/internal/core/interleak"},
 }
 
 // TestFixtureGoldens runs the full suite over each fixture package and
@@ -118,7 +121,23 @@ func TestPolicyResolve(t *testing.T) {
 		{"github.com/dphsrc/dphsrc/examples/quickstart", CodeLeakSink, true},
 		{"github.com/dphsrc/dphsrc/internal/experiment", CodeMapOrder, true},
 		{"github.com/dphsrc/dphsrc/internal/experiment", CodeWallClock, false},
-		{"github.com/dphsrc/dphsrc/internal/plot", CodeFloatEq, false}, // no matching row
+		{"github.com/dphsrc/dphsrc/internal/plot", CodeFloatEq, true}, // charts must render byte-stable
+		// concurrency family: hot paths get the full set, faultnet keeps
+		// injected sleeps legal, pure-math packages stay out entirely.
+		{"github.com/dphsrc/dphsrc/internal/protocol", CodeMutexMisuse, true},
+		{"github.com/dphsrc/dphsrc/internal/protocol", CodeSleepPoll, true},
+		{"github.com/dphsrc/dphsrc/internal/faultnet", CodeMutexMisuse, true},
+		{"github.com/dphsrc/dphsrc/internal/faultnet", CodeSleepPoll, false},
+		{"github.com/dphsrc/dphsrc/internal/stats", CodeGoroutineLeak, false},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-platform", CodeSleepPoll, false},
+		// durability family: only the layers that touch the WAL contract
+		// carry MCS-DUR002; telemetry/cmd still get the fsync rules.
+		{"github.com/dphsrc/dphsrc/internal/store", CodeMutateNoWAL, true},
+		{"github.com/dphsrc/dphsrc/internal/mechanism", CodeMutateNoWAL, true},
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeMutateNoWAL, false},
+		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeRenameNoSync, true},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-platform", CodeUncheckedSync, true},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-platform", CodeMutateNoWAL, false},
 		// telemetry: determinism enforced via clock injection, with the
 		// errcheck rules for its exposition writers.
 		{"github.com/dphsrc/dphsrc/internal/telemetry", CodeWallClock, true},
@@ -153,6 +172,31 @@ func TestPolicyResolve(t *testing.T) {
 	}
 }
 
+// TestCodeDocsComplete pins the code catalogue (the SARIF rule
+// metadata and README table) to the set of codes the suite can emit:
+// adding an analyzer code without documenting it fails here.
+func TestCodeDocsComplete(t *testing.T) {
+	known := knownCodes()
+	documented := make(map[string]bool)
+	for _, d := range CodeDocs() {
+		if documented[d.Code] {
+			t.Errorf("duplicate catalogue entry for %s", d.Code)
+		}
+		documented[d.Code] = true
+		if !known[d.Code] {
+			t.Errorf("catalogue documents %s, which no analyzer emits", d.Code)
+		}
+		if d.Summary == "" {
+			t.Errorf("catalogue entry %s has no summary", d.Code)
+		}
+	}
+	for code := range known {
+		if !documented[code] {
+			t.Errorf("code %s is emitted but missing from the catalogue", code)
+		}
+	}
+}
+
 func TestPolicyTables(t *testing.T) {
 	p := DefaultPolicy()
 	if !p.Sensitive("Worker", "Bid") {
@@ -166,5 +210,29 @@ func TestPolicyTables(t *testing.T) {
 	}
 	if p.IsMessageType("Outcome") {
 		t.Error("Outcome is not a wire-frame type")
+	}
+	if !p.IsBlockingFunc("Conn.Send") {
+		t.Error("Conn.Send must be a declared blocking call")
+	}
+	if p.IsBlockingFunc("Conn.Frame") {
+		t.Error("Conn.Frame is not a declared blocking call")
+	}
+	if !p.IsJournalFunc("RecordSpend") {
+		t.Error("RecordSpend must count as a WAL append")
+	}
+	if p.IsJournalFunc("Spend") {
+		t.Error("Spend itself is not a WAL append")
+	}
+	if !p.Durable("Accountant", "spent") {
+		t.Error("Accountant.spent must be durable state")
+	}
+	if p.Durable("Accountant", "total") {
+		t.Error("Accountant.total is configuration, not durable state")
+	}
+	if !p.IsDPRelease("Auction.Run") {
+		t.Error("Auction.Run must be the sanctioned DP-release boundary")
+	}
+	if p.IsDPRelease("Auction.Payments") {
+		t.Error("Auction.Payments is not a DP-release boundary")
 	}
 }

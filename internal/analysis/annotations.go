@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -10,11 +11,14 @@ import (
 //
 // A justified exception is written in the source as
 //
-//	//mcslint:allow CODE reason...
+//	//mcslint:allow CODE[,CODE...] reason...
 //
-// and suppresses diagnostics with that code. The reason is mandatory:
-// an annotation without one is itself reported as MCS-LNT001, so every
-// suppression in the tree documents why it is safe.
+// and suppresses diagnostics with the listed codes. The reason is
+// mandatory: an annotation without one is itself reported as
+// MCS-LNT001, so every suppression in the tree documents why it is
+// safe. So is referencing a code the suite actually emits: an allow
+// naming an unknown code is dead weight that would silently rot when
+// codes are renamed, and is reported as MCS-LNT001 too.
 //
 // Scope:
 //   - on its own line: covers the next source line;
@@ -25,7 +29,7 @@ import (
 const (
 	allowPrefix = "//mcslint:allow"
 	// CodeBadAllow flags a malformed //mcslint:allow annotation
-	// (missing code or missing reason).
+	// (missing code, missing reason, or unknown code).
 	CodeBadAllow = "MCS-LNT001"
 )
 
@@ -66,6 +70,7 @@ func (s *allowSet) allowed(code string, pos token.Position) bool {
 // package policy).
 func collectAllows(fset *token.FileSet, files []*ast.File, out *[]Diagnostic) *allowSet {
 	s := &allowSet{byFile: make(map[string][]allowEntry)}
+	known := knownCodes()
 	for _, file := range files {
 		// Doc-comment annotations get function-body scope.
 		docSpan := make(map[*ast.Comment][2]int)
@@ -88,23 +93,37 @@ func collectAllows(fset *token.FileSet, files []*ast.File, out *[]Diagnostic) *a
 				}
 				pos := fset.Position(c.Pos())
 				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-				code, reason, _ := strings.Cut(rest, " ")
-				if code == "" || strings.TrimSpace(reason) == "" {
+				codes, reason, _ := strings.Cut(rest, " ")
+				if codes == "" || strings.TrimSpace(reason) == "" {
 					*out = append(*out, Diagnostic{
 						Code: CodeBadAllow,
 						Path: pos.Filename,
 						Line: pos.Line,
 						Col:  pos.Column,
 						Message: "malformed mcslint:allow annotation: " +
-							"want `//mcslint:allow CODE reason`",
+							"want `//mcslint:allow CODE[,CODE] reason`",
 					})
 					continue
 				}
-				e := allowEntry{code: code, line: pos.Line}
-				if span, ok := docSpan[c]; ok {
-					e.spanStart, e.spanEnd = span[0], span[1]
+				for _, code := range strings.Split(codes, ",") {
+					code = strings.TrimSpace(code)
+					if !known[code] {
+						*out = append(*out, Diagnostic{
+							Code: CodeBadAllow,
+							Path: pos.Filename,
+							Line: pos.Line,
+							Col:  pos.Column,
+							Message: fmt.Sprintf(
+								"mcslint:allow references unknown code %q; it suppresses nothing", code),
+						})
+						continue
+					}
+					e := allowEntry{code: code, line: pos.Line}
+					if span, ok := docSpan[c]; ok {
+						e.spanStart, e.spanEnd = span[0], span[1]
+					}
+					s.byFile[pos.Filename] = append(s.byFile[pos.Filename], e)
 				}
-				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], e)
 			}
 		}
 	}

@@ -31,12 +31,15 @@ import (
 // (String/Int/Int64/Float/Bool/Seconds) are — a tainted value must
 // arrive wrapped in evlog.Redacted or evlog.Aggregate instead.
 //
-// The taint step is one-level and flow-insensitive by design: it
-// follows `x := w.Bid` style assignments to a fixpoint inside a single
-// function, which covers the realistic leak shapes (format a bid,
-// stash it in a temp, print it) without a whole-program dataflow
-// engine. Cross-function flows are out of scope and documented as such
-// in DESIGN.md.
+// The taint step is flow-insensitive within a function and
+// interprocedural across them: the call-graph summaries (callgraph.go)
+// record which module functions return bid-derived scalars and which
+// forward a parameter into a sink, so a bid returned through two
+// helpers into fmt.Println is caught at the print, and a bid passed to
+// a helper that logs its argument is caught at the call site. Taint
+// stops at policy-declared DP-release boundaries (the mechanism's
+// Outcome is the sanctioned release) and at the evlog
+// Redacted/Aggregate sanitizers.
 func DPLeakAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:  "dp-leak",
@@ -84,57 +87,20 @@ func (p *Pass) logUseCheck(file *ast.File) {
 }
 
 func (p *Pass) leakCheckFunc(fd *ast.FuncDecl) {
-	tainted := p.taintedLocals(fd)
+	// Interprocedural taint: the masks fold in callee summaries, so a
+	// local assigned from a helper that returns a bid is tainted here.
+	tc := p.Prog.newTaintCtx(p.pkg(), fd)
+	locals := tc.localMasks()
 
-	// contains reports whether expr mentions a sensitive selector or a
-	// tainted local.
+	// contains: expr carries a sensitive value (directly, through a
+	// tainted local, or out of a tainted call result).
 	contains := func(expr ast.Expr) bool {
-		found := false
-		ast.Inspect(expr, func(n ast.Node) bool {
-			if found {
-				return false
-			}
-			switch node := n.(type) {
-			case *ast.SelectorExpr:
-				if p.sensitiveSelector(node) {
-					found = true
-				}
-			case *ast.Ident:
-				if obj := p.Info.ObjectOf(node); obj != nil && tainted[obj] {
-					found = true
-				}
-			}
-			return !found
-		})
-		return found
+		return tc.mask(expr, locals, false)&maskSource != 0
 	}
-
-	// containsUnsanitized is contains with the evlog sanitizer wrappers
-	// pruned: a value inside an evlog.Redacted/evlog.Aggregate call has
-	// been laundered and does not taint the enclosing expression.
+	// containsUnsanitized: same, with the evlog Redacted/Aggregate
+	// wrappers pruned — a laundered value may enter the event stream.
 	containsUnsanitized := func(expr ast.Expr) bool {
-		found := false
-		ast.Inspect(expr, func(n ast.Node) bool {
-			if found {
-				return false
-			}
-			switch node := n.(type) {
-			case *ast.CallExpr:
-				if name, ok := p.pkgFuncCall(node, evlogPath); ok && (name == "Redacted" || name == "Aggregate") {
-					return false
-				}
-			case *ast.SelectorExpr:
-				if p.sensitiveSelector(node) {
-					found = true
-				}
-			case *ast.Ident:
-				if obj := p.Info.ObjectOf(node); obj != nil && tainted[obj] {
-					found = true
-				}
-			}
-			return !found
-		})
-		return found
+		return tc.mask(expr, locals, true)&maskSource != 0
 	}
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -154,6 +120,23 @@ func (p *Pass) leakCheckFunc(fd *ast.FuncDecl) {
 					if containsUnsanitized(arg) {
 						p.Reportf(arg.Pos(), CodeLeakSink,
 							"bid/cost value reaches evlog.%s; wrap protected values in evlog.Redacted or evlog.Aggregate", name)
+						break
+					}
+				}
+			}
+			// Interprocedural sink step: a tainted argument handed to a
+			// callee that forwards that parameter into a sink leaks just
+			// as surely as printing it here.
+			if callee := p.Prog.FuncOf(p.Info, node); callee != nil {
+				for ai, arg := range node.Args {
+					pi := paramIndexForArg(callee.Obj, ai)
+					if pi < 0 || pi >= len(callee.Sum.ParamToSink) || callee.Sum.ParamToSink[pi] == "" {
+						continue
+					}
+					if contains(arg) {
+						p.Reportf(arg.Pos(), CodeLeakSink,
+							"bid/cost value passed to %s, which forwards it to %s; protected values must never be printed or logged",
+							funcDisplayName(callee.Obj), callee.Sum.ParamToSink[pi])
 						break
 					}
 				}
@@ -193,60 +176,6 @@ func (p *Pass) sensitiveSelector(sel *ast.SelectorExpr) bool {
 		return false
 	}
 	return p.Policy.Sensitive(typeName, sel.Sel.Name)
-}
-
-// taintedLocals runs the one-level assignment fixpoint: any local
-// assigned (directly or transitively) from a sensitive selector.
-func (p *Pass) taintedLocals(fd *ast.FuncDecl) map[types.Object]bool {
-	tainted := make(map[types.Object]bool)
-	exprTainted := func(expr ast.Expr) bool {
-		found := false
-		ast.Inspect(expr, func(n ast.Node) bool {
-			if found {
-				return false
-			}
-			switch node := n.(type) {
-			case *ast.SelectorExpr:
-				if p.sensitiveSelector(node) {
-					found = true
-				}
-			case *ast.Ident:
-				if obj := p.Info.ObjectOf(node); obj != nil && tainted[obj] {
-					found = true
-				}
-			}
-			return !found
-		})
-		return found
-	}
-	for range 4 { // fixpoint: chains deeper than 4 hops are unrealistic
-		changed := false
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			assign, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
-			}
-			for i, lhs := range assign.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok || i >= len(assign.Rhs) {
-					continue
-				}
-				obj := p.Info.ObjectOf(id)
-				if obj == nil || tainted[obj] {
-					continue
-				}
-				if exprTainted(assign.Rhs[i]) {
-					tainted[obj] = true
-					changed = true
-				}
-			}
-			return true
-		})
-		if !changed {
-			break
-		}
-	}
-	return tainted
 }
 
 // printSink classifies call as a print/log sink and names it.

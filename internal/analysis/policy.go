@@ -20,7 +20,49 @@ const (
 	// errcheck-lite
 	CodeUncheckedWrite = "MCS-ERR001" // dropped error from a Write-like call
 	CodeUncheckedClose = "MCS-ERR002" // dropped error from Close
+	// concurrency-safety (interprocedural)
+	CodeGoroutineLeak = "MCS-CON001" // goroutine with an unbounded loop and no stop path
+	CodeSharedWrite   = "MCS-CON002" // captured variable written by a goroutine, read by the spawner, unsynchronized
+	CodeMutexMisuse   = "MCS-CON003" // mutex copied by value, or held across a blocking call
+	CodeSleepPoll     = "MCS-CON004" // time.Sleep polling loop in a hot path
+	// durability-ordering (interprocedural)
+	CodeRenameNoSync  = "MCS-DUR001" // os.Rename of a written file with no fsync in between
+	CodeMutateNoWAL   = "MCS-DUR002" // durable field mutated with no preceding WAL append
+	CodeUncheckedSync = "MCS-DUR003" // dropped error from (*os.File).Sync
 )
+
+// CodeDoc is one row of the diagnostic-code catalogue: the stable
+// identifier plus a one-line summary. The SARIF writer emits these as
+// the tool's rule metadata and the README's rule table mirrors them.
+type CodeDoc struct {
+	Code    string
+	Summary string
+}
+
+// CodeDocs returns the full catalogue in code order.
+func CodeDocs() []CodeDoc {
+	return []CodeDoc{
+		{CodeGlobalRand, "global math/rand state in a deterministic package"},
+		{CodeWallClock, "wall-clock read in a deterministic package"},
+		{CodeMapOrder, "map-iteration-order dependent output"},
+		{CodeLeakSink, "bid/cost value reaches a print/log sink"},
+		{CodeLeakMessage, "bid/cost value placed in a wire message outside the sanctioned path"},
+		{CodeLogUse, "direct stdlib log use where evlog is the sanctioned sink"},
+		{CodeFloatEq, "==/!= on floating-point operands"},
+		{CodeRawExp, "math.Exp of a difference outside the log-space helpers"},
+		{CodeExpAccum, "accumulating math.Exp terms; use log-sum-exp / max-shift"},
+		{CodeUncheckedWrite, "dropped error from a Write-like call"},
+		{CodeUncheckedClose, "dropped error from Close"},
+		{CodeGoroutineLeak, "goroutine with an unbounded loop and no stop path"},
+		{CodeSharedWrite, "captured variable written by a goroutine, read by the spawner, unsynchronized"},
+		{CodeMutexMisuse, "mutex copied by value, or held across a blocking call"},
+		{CodeSleepPoll, "time.Sleep polling loop in a hot path"},
+		{CodeRenameNoSync, "os.Rename of a written file with no fsync in between"},
+		{CodeMutateNoWAL, "durable field mutated with no preceding WAL append"},
+		{CodeUncheckedSync, "dropped error from (*os.File).Sync"},
+		{CodeBadAllow, "malformed or unknown-code mcslint:allow annotation"},
+	}
+}
 
 // Rule is one row of the policy table. Match is an import-path
 // fragment: a rule applies to a package when Match, read as a
@@ -55,6 +97,28 @@ type Policy struct {
 	// log-space helpers; MCS-FLT002/003 never fire there even if a
 	// broader rule enables them.
 	LogSpacePackages []string
+	// BlockingFuncs lists module methods ("Type.Method") that block on
+	// the network even though their bodies bottom out in interface
+	// calls the type checker cannot classify — the protocol's framed
+	// Conn, whose Send/Recv sit on a net.Conn with an I/O deadline.
+	// MCS-CON003 treats a call to one of these as a blocking point.
+	BlockingFuncs []string
+	// JournalFuncs lists function/method names whose call constitutes
+	// a write-ahead journal append. MCS-DUR002 requires a mutation of
+	// a DurableFields field to be preceded (in its function) by a call
+	// to one of these; the call-graph summaries propagate the property
+	// through helpers.
+	JournalFuncs []string
+	// DurableFields maps a named type's base name to the fields on it
+	// that hold journaled durable state: mutating one without a
+	// preceding WAL append is the classic lost-update crash bug PR 6
+	// exists to prevent.
+	DurableFields map[string][]string
+	// DPReleaseFuncs names functions ("Type.Method" or "Func") whose
+	// results are the sanctioned differentially-private release: taint
+	// does not propagate out of them. The exponential-mechanism
+	// boundary lives here, not in every caller's annotations.
+	DPReleaseFuncs []string
 }
 
 // ResolvedRule is the policy outcome for one package.
@@ -137,40 +201,98 @@ func (p *Policy) IsMessageType(typeName string) bool {
 	return false
 }
 
+// IsBlockingFunc reports whether "Type.Method" is a declared blocking
+// network call.
+func (p *Policy) IsBlockingFunc(name string) bool {
+	for _, f := range p.BlockingFuncs {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsJournalFunc reports whether a call to name counts as a WAL append.
+func (p *Policy) IsJournalFunc(name string) bool {
+	for _, f := range p.JournalFuncs {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Durable reports whether field fieldName on a type named typeName is
+// journaled durable state.
+func (p *Policy) Durable(typeName, fieldName string) bool {
+	for _, f := range p.DurableFields[typeName] {
+		if f == fieldName {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDPRelease reports whether name ("Type.Method" or "Func") is a
+// sanctioned DP-release boundary.
+func (p *Policy) IsDPRelease(name string) bool {
+	for _, f := range p.DPReleaseFuncs {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
 // DefaultPolicy is the repo's policy table.
 //
-//	package                  det   dp-leak  float      errcheck
-//	internal/core            ✓     DPL001   FLT all    —
-//	internal/mechanism       ✓     DPL001   FLT001*    —          (*home of the log-space helpers)
-//	internal/stats           ✓     —        FLT all    —
-//	internal/lp              ✓     —        FLT all    —
-//	internal/ilp             ✓     —        FLT all    —
-//	internal/crowd           —     —        FLT all    —
-//	internal/privacy         —     DPL001   FLT all    —
-//	internal/experiment      DET003 —       FLT001     —          (report emission must be order-stable)
-//	internal/protocol        —     ✓+DPL003 FLT001     ✓          (evlog is the only sanctioned log sink)
-//	internal/store           ✓     —        FLT001     ✓          (replay must be deterministic; every WAL write checked)
-//	internal/faultnet        —     —        —          ✓
-//	internal/telemetry       ✓     —        FLT001     ✓          (clock injection enforced, not blanket-allowed)
-//	cmd/*                    —     DPL all  —          ✓          (evlog is the only sanctioned log sink)
-//	examples/*               —     DPL001-2 —          ✓
+//	package                  det   dp-leak  float      errcheck  con        dur
+//	internal/core            ✓     DPL001   FLT all    —         ✓          —
+//	internal/mechanism       ✓     DPL001   FLT001*    —         ✓          ✓          (*home of the log-space helpers)
+//	internal/stats           ✓     —        FLT all    —         —          —
+//	internal/lp              ✓     —        FLT all    —         —          —
+//	internal/ilp             ✓     —        FLT all    —         —          —
+//	internal/crowd           —     —        FLT all    —         —          —
+//	internal/privacy         —     DPL001   FLT all    —         —          —
+//	internal/experiment      DET003 —       FLT001     —         ✓          —          (report emission must be order-stable)
+//	internal/workload        ✓     —        FLT all    —         —          —
+//	internal/geo             ✓     —        FLT all    —         —          —
+//	internal/plot            ✓     —        FLT all    —         —          —          (charts must render byte-stable)
+//	internal/protocol        —     ✓+DPL003 FLT001     ✓         ✓          ✓          (evlog is the only sanctioned log sink)
+//	internal/store           ✓     —        FLT001     ✓         ✓          ✓          (replay must be deterministic; every WAL write checked)
+//	internal/faultnet        —     —        —          ✓         CON1-3     —          (sleep injection is the package's purpose: CON004 off)
+//	internal/telemetry       ✓     —        FLT001     ✓         CON1-3     DUR1,3
+//	cmd/*                    —     DPL all  —          ✓         ✓          DUR1,3     (evlog is the only sanctioned log sink)
+//	examples/*               —     DPL001-2 —          ✓         —          —
 func DefaultPolicy() *Policy {
 	det := []string{CodeGlobalRand, CodeWallClock, CodeMapOrder}
 	floats := []string{CodeFloatEq, CodeRawExp, CodeExpAccum}
 	errs := []string{CodeUncheckedWrite, CodeUncheckedClose}
+	cons := []string{CodeGoroutineLeak, CodeSharedWrite, CodeMutexMisuse, CodeSleepPoll}
+	durs := []string{CodeRenameNoSync, CodeMutateNoWAL, CodeUncheckedSync}
+	// faultnet injects latency on purpose and telemetry/cmd never sit
+	// on the round-critical path, so the sleep-poll rule stays scoped
+	// to the mechanism/protocol/store/core hot paths.
+	conNoPoll := []string{CodeGoroutineLeak, CodeSharedWrite, CodeMutexMisuse}
+	durNoWAL := []string{CodeRenameNoSync, CodeUncheckedSync}
 	return &Policy{
 		Rules: []Rule{
-			{Match: "internal/core", Enable: append(append([]string{CodeLeakSink}, det...), floats...)},
-			{Match: "internal/mechanism", Enable: append(append([]string{CodeLeakSink}, det...), floats...)},
+			{Match: "internal/core", Enable: append(append(append([]string{CodeLeakSink}, det...), floats...), cons...)},
+			{Match: "internal/mechanism", Enable: append(append(append(append([]string{CodeLeakSink}, det...), floats...), cons...), durs...)},
 			{Match: "internal/stats", Enable: append(append([]string{}, det...), floats...)},
 			{Match: "internal/lp", Enable: append(append([]string{}, det...), floats...)},
 			{Match: "internal/ilp", Enable: append(append([]string{}, det...), floats...)},
 			{Match: "internal/crowd", Enable: floats},
 			{Match: "internal/privacy", Enable: append([]string{CodeLeakSink}, floats...)},
-			{Match: "internal/experiment", Enable: []string{CodeMapOrder, CodeFloatEq}},
+			{Match: "internal/experiment", Enable: append([]string{CodeMapOrder, CodeFloatEq}, cons...)},
+			// Workload/geo generators and the plot renderer feed the
+			// experiment pipeline: same reproducibility bar as stats.
+			{Match: "internal/workload", Enable: append(append([]string{}, det...), floats...)},
+			{Match: "internal/geo", Enable: append(append([]string{}, det...), floats...)},
+			{Match: "internal/plot", Enable: append(append([]string{}, det...), floats...)},
 			{
 				Match:  "internal/protocol",
-				Enable: append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse, CodeFloatEq}, errs...),
+				Enable: append(append(append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse, CodeFloatEq}, errs...), cons...), durs...),
 				// participateOnce is the worker's sealed-bid submission:
 				// the one place the bid legitimately enters a wire frame.
 				AllowedLeakFuncs: []string{"participateOnce"},
@@ -180,18 +302,18 @@ func DefaultPolicy() *Policy {
 			// the package may read the clock, global randomness, or map
 			// iteration order, every float comparison is suspect, and an
 			// unchecked WAL write or close is a durability hole.
-			{Match: "internal/store", Enable: append(append([]string{CodeFloatEq}, det...), errs...)},
-			{Match: "internal/faultnet", Enable: errs},
+			{Match: "internal/store", Enable: append(append(append(append([]string{CodeFloatEq}, det...), errs...), cons...), durs...)},
+			{Match: "internal/faultnet", Enable: append(append([]string{}, errs...), conNoPoll...)},
 			// The observability layer must itself be deterministic: all
 			// wall-clock reads go through the injected Clock, with the
 			// single sanctioned time.Now() annotated at its definition —
 			// determinism is enforced here, not blanket-allowed.
-			{Match: "internal/telemetry", Enable: append(append([]string{CodeFloatEq}, det...), errs...)},
+			{Match: "internal/telemetry", Enable: append(append(append(append([]string{CodeFloatEq}, det...), errs...), conNoPoll...), durNoWAL...)},
 			// The command-line layer writes structured provenance
 			// streams, so unstructured stdlib logging is banned there
 			// alongside the taint checks; examples keep stdlib log for
 			// pedagogical brevity (DPL003 off).
-			{Match: "cmd", Enable: append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse}, errs...)},
+			{Match: "cmd", Enable: append(append(append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse}, errs...), conNoPoll...), durNoWAL...)},
 			{Match: "examples", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
 		},
 		SensitiveFields: map[string][]string{
@@ -205,5 +327,36 @@ func DefaultPolicy() *Policy {
 		},
 		MessageTypes:     []string{"Message"},
 		LogSpacePackages: []string{"internal/mechanism"},
+		// protocol.Conn frames JSON over a net.Conn behind an I/O
+		// deadline (up to IOTimeout): from a lock-holder's point of
+		// view these are network waits, invisible to the type checker
+		// because the body bottoms out in interface calls.
+		BlockingFuncs: []string{
+			"Conn.Send", "Conn.Recv", "Conn.Expect", "Conn.SendError", "Conn.Close",
+		},
+		// The WAL append surface: FileStore.record and WAL.Append are
+		// the physical appends; the Record* methods are the
+		// store.BudgetStore/SkillStore/CampaignStore journaling
+		// interface the accountant and campaign paths call through.
+		JournalFuncs: []string{
+			"Append", "record",
+			"RecordSpend", "RecordRefuse", "RecordRestore", "RecordSkill",
+			"RecordCampaignStart", "RecordRoundBegin", "RecordRoundComplete",
+		},
+		// Durable state that must be journaled before it is mutated:
+		// the accountant's ledger counters and the store's folded
+		// state + high-water LSN. Replay/restore constructors are the
+		// sanctioned exceptions, annotated at their definitions.
+		DurableFields: map[string][]string{
+			"Accountant":    {"spent", "releases", "refusalCount"},
+			"FileStore":     {"st", "lsn"},
+			"BudgetState":   {"Spent", "Releases", "Refusals"},
+			"CampaignState": {"NextRound", "TotalPayment"},
+		},
+		// Auction.Run's Outcome is the exponential mechanism's output:
+		// the sanctioned epsilon-DP release. Interprocedural taint
+		// stops at this boundary — winners and payments are publishable
+		// by the paper's own guarantee.
+		DPReleaseFuncs: []string{"Auction.Run"},
 	}
 }

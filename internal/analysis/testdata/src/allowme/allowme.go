@@ -23,3 +23,22 @@ func Naked() int64 {
 	//mcslint:allow MCS-DET002
 	return time.Now().UnixNano() // want MCS-DET002 (annotation malformed -> MCS-LNT001 too)
 }
+
+// Above uses a line-above annotation: it covers the next source line.
+func Above() int64 {
+	//mcslint:allow MCS-DET002 startup banner timestamp, not mechanism state
+	return time.Now().UnixNano()
+}
+
+// Both trips two rules on one line and suppresses both with a single
+// comma-separated annotation.
+func Both(x float64) bool {
+	return x == float64(time.Now().Unix()) //mcslint:allow MCS-DET002,MCS-FLT001 diagnostic helper compares against an exact wall-clock second on purpose
+}
+
+// Bogus references a code the suite does not emit: the annotation is
+// dead weight, diagnosed as MCS-LNT001, and the real diagnostic still
+// fires.
+func Bogus() int64 {
+	return time.Now().UnixNano() //mcslint:allow MCS-ZZZ999 no such rule exists (want MCS-LNT001 + MCS-DET002)
+}

@@ -1,0 +1,133 @@
+// Package conbad exercises the MCS-CON concurrency-safety family:
+// uncoupled goroutine loops, unsynchronized captured writes, mutex
+// copies, locks held across blocking calls (including through a helper
+// whose call-graph summary blocks), and sleep-polling loops. Each bad
+// case has a clean counterpart pinning the analyzer's boundary.
+package conbad
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Registry mirrors the platform's session table.
+type Registry struct {
+	mu   sync.Mutex
+	bids map[string]float64
+}
+
+func beat() {}
+
+// Heartbeat leaks: the goroutine loops forever with no channel,
+// WaitGroup, or context coupling anywhere on its paths.
+func Heartbeat() {
+	go func() { // want MCS-CON001
+		for {
+			beat()
+		}
+	}()
+}
+
+// HeartbeatStoppable is clean: the loop selects on ctx.Done.
+func HeartbeatStoppable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				beat()
+			}
+		}
+	}()
+}
+
+// Pump is clean: the loop is unbounded but coupled to its output
+// channel, so closing the consumer side stops it.
+func Pump(out chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			out <- i
+		}
+	}()
+}
+
+// SumPayments races: the goroutine writes total, the spawner reads it
+// with no barrier in between.
+func SumPayments(vals []float64) float64 {
+	total := 0.0
+	go func() {
+		for _, v := range vals {
+			total += v
+		}
+	}()
+	return total // want MCS-CON002
+}
+
+// SumSynced is clean: WaitGroup.Wait is a barrier between the write
+// and the read.
+func SumSynced(vals []float64) float64 {
+	var wg sync.WaitGroup
+	total := 0.0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range vals {
+			total += v
+		}
+	}()
+	wg.Wait()
+	return total
+}
+
+// Snapshot copies the registry — and its mutex — by value.
+func Snapshot(r Registry) int { // want MCS-CON003 (parameter)
+	return len(r.bids)
+}
+
+// Clone copies a live lock through a dereference assignment.
+func Clone(r *Registry) {
+	local := *r // want MCS-CON003 (assignment)
+	_ = local
+}
+
+// Publish blocks on network I/O while holding the registry lock: one
+// slow peer stalls every other caller.
+func (r *Registry) Publish(c net.Conn, payload []byte) error {
+	r.mu.Lock()
+	_, err := c.Write(payload) // want MCS-CON003 (net I/O under lock)
+	r.mu.Unlock()
+	return err
+}
+
+// pause blocks; its summary carries the effect to callers.
+func pause() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Drain holds the lock across a module helper that blocks — the
+// interprocedural case the call-graph summaries exist for.
+func (r *Registry) Drain() {
+	r.mu.Lock()
+	pause() // want MCS-CON003 (summary says pause blocks)
+	r.mu.Unlock()
+}
+
+// DrainOutside is clean: the blocking call happens after the unlock.
+func (r *Registry) DrainOutside() {
+	r.mu.Lock()
+	n := len(r.bids)
+	r.mu.Unlock()
+	if n == 0 {
+		pause()
+	}
+}
+
+// AwaitQuorum polls with time.Sleep in a loop.
+func AwaitQuorum(ready func() bool) {
+	for !ready() {
+		time.Sleep(5 * time.Millisecond) // want MCS-CON004
+	}
+}

@@ -1,0 +1,105 @@
+// Package durbad exercises the MCS-DUR durability-ordering family:
+// rename-without-fsync (direct and through a helper whose summary
+// writes), durable-field mutation with no preceding WAL append, and
+// dropped fsync errors. Field and type names line up with the policy
+// durable table so the fixture is self-contained.
+package durbad
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// PublishUnsafe renames a freshly written file without syncing it: a
+// crash after the rename can expose a torn file under the real name.
+func PublishUnsafe(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state.json")) // want MCS-DUR001
+}
+
+// stage writes without syncing; its summary carries the write effect.
+func stage(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
+
+// PublishViaHelper has the same bug one call deep.
+func PublishViaHelper(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := stage(tmp, data); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state.json")) // want MCS-DUR001 (write via summary)
+}
+
+// PublishSafe is the clean idiom: write, fsync, close, rename.
+func PublishSafe(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state.json"))
+}
+
+// Journal mirrors the store's journaling interface; RecordSpend is in
+// the policy journal-func table.
+type Journal struct{}
+
+// RecordSpend stands in for the durable WAL append.
+func (Journal) RecordSpend(eps, next float64) error { return nil }
+
+// Accountant mirrors the mechanism ledger; spent and releases are in
+// the policy durable-field table.
+type Accountant struct {
+	spent    float64
+	releases int64
+	journal  Journal
+}
+
+// SpendUnsafe mutates the ledger with no preceding journal append: a
+// crash in the gap loses a spend that was already acted on.
+func (a *Accountant) SpendUnsafe(eps float64) {
+	a.spent += eps // want MCS-DUR002
+	a.releases++   // want MCS-DUR002
+}
+
+// SpendJournaled is the write-ahead idiom: the record lands durably
+// before the in-memory ledger moves.
+func (a *Accountant) SpendJournaled(eps float64) error {
+	if err := a.journal.RecordSpend(eps, a.spent+eps); err != nil {
+		return err
+	}
+	a.spent += eps
+	a.releases++
+	return nil
+}
+
+// FlushDeferred drops the fsync error in a defer: the write may not
+// survive a crash and nobody learns.
+func FlushDeferred(f *os.File) {
+	defer f.Sync() // want MCS-DUR003
+}
+
+// FlushBare drops it as a bare statement.
+func FlushBare(f *os.File) {
+	f.Sync() // want MCS-DUR003
+}
+
+// FlushChecked handles it.
+func FlushChecked(f *os.File) error {
+	return f.Sync()
+}

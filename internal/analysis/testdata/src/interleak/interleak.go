@@ -1,0 +1,62 @@
+// Package interleak exercises the interprocedural dp-leak analysis:
+// a protected bid that flows through two helper returns into a print
+// sink, a helper whose parameter reaches a sink (caught at the call
+// site), and the sanctioned DP-release boundary where taint stops.
+package interleak
+
+import "fmt"
+
+// Worker mirrors the auction's bid carrier; Worker.Bid is in the
+// policy sensitive-field table.
+type Worker struct {
+	ID  string
+	Bid float64
+}
+
+// bidOf is hop one: its summary says the result is tainted.
+func bidOf(w Worker) float64 { return w.Bid }
+
+// ask is hop two: taint flows through the nested return.
+func ask(w Worker) float64 { return bidOf(w) }
+
+// Announce prints a value two helpers removed from the field read.
+func Announce(w Worker) {
+	fmt.Println("ask:", ask(w)) // want MCS-DPL001 (two-hop return taint)
+}
+
+// show forwards its parameter to a print sink; the leak is reported at
+// the call site that feeds it a protected value, not here.
+func show(v float64) {
+	fmt.Println(v)
+}
+
+// Tell leaks by passing the bid into show.
+func Tell(w Worker) {
+	show(w.Bid) // want MCS-DPL001 (param-to-sink summary)
+}
+
+// Count is clean: len never carries taint.
+func Count(ws []Worker) {
+	fmt.Println(len(ws))
+}
+
+// Auction mirrors the mechanism's release boundary; Auction.Run is in
+// the policy DP-release table.
+type Auction struct{}
+
+// Run stands in for the exponential mechanism: its result is the
+// sanctioned epsilon-DP release.
+func (Auction) Run(ws []Worker) float64 {
+	t := 0.0
+	for _, w := range ws {
+		t += w.Bid
+	}
+	return t
+}
+
+// Publish is clean: taint stops at the DP-release boundary, because
+// the mechanism's output is publishable by the paper's own guarantee.
+func Publish(ws []Worker) {
+	var a Auction
+	fmt.Println(a.Run(ws))
+}

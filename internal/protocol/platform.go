@@ -661,9 +661,14 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int6
 				return
 			}
 			mu.Lock()
-			defer mu.Unlock()
 			if seen[s.workerID] {
 				faults.DuplicatesRejected++
+				mu.Unlock()
+				// The rejection itself happens outside the critical
+				// section: SendError sits on a network write deadline
+				// (up to IOTimeout), and mu is what every completing
+				// handshake needs to register its bid — one slow
+				// duplicate client must not stall the whole window.
 				p.met.bidsDuplicate.Inc()
 				ev.Warn("round.fault",
 					evlog.String("kind", "duplicate_bid"),
@@ -675,6 +680,8 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int6
 			}
 			seen[s.workerID] = true
 			sessions = append(sessions, s)
+			quorum := p.cfg.MinWorkers > 0 && len(sessions) >= p.cfg.MinWorkers
+			mu.Unlock()
 			p.met.bidsAccepted.Inc()
 			// The bid value is DP-protected input: it never enters the
 			// stream, only a Redacted placeholder marking its arrival.
@@ -682,7 +689,7 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int6
 				evlog.Int64("span", spanID),
 				evlog.String("worker", s.workerID),
 				evlog.Redacted("bid"))
-			if p.cfg.MinWorkers > 0 && len(sessions) >= p.cfg.MinWorkers {
+			if quorum {
 				cancel()
 			}
 		}()
