@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-sarif test race test-recovery fuzz-smoke bench bench-diff
+.PHONY: all build vet lint lint-sarif test race test-recovery fuzz-smoke bench bench-diff bench-diff-core
 
 all: build vet lint test
 
@@ -47,6 +47,14 @@ bench:
 # shared runners are noisy); run locally before committing perf work.
 bench-diff:
 	$(GO) run ./cmd/mcs-bench -suite experiment -baseline BENCH_experiment.json > /dev/null
+
+# Blocking regression gate for the core suite: the auction build/run
+# benchmarks are what every sharded partition executes per round, so a
+# regression there multiplies across the fleet. Gated benchmarks in
+# this suite are coarse enough (>25% threshold) to hold even on noisy
+# shared runners, so CI fails hard on them.
+bench-diff-core:
+	$(GO) run ./cmd/mcs-bench -baseline BENCH_core.json > /dev/null
 
 # Durability gate: the WAL/snapshot store's unit, fuzz-corpus and
 # replay-exactness property tests (recovery is bitwise-identical to the

@@ -13,9 +13,11 @@
 //	mcs-bench -suite experiment -events-out run.jsonl -manifest-out run.json
 //
 // With -baseline the fresh run is compared against the committed file
-// and the exit status is 1 when any cover/gain benchmark regresses by
-// more than 25% in ns/op (the `make bench-diff` gate; other benchmarks
-// are reported but do not gate).
+// and the exit status is 1 when any gated benchmark — the auction hot
+// path (core suite) or the cover/gain construction (experiment suite)
+// — regresses by more than 25% in ns/op (the `make bench-diff` /
+// `make bench-diff-core` gates; other benchmarks are reported but do
+// not gate).
 //
 // With -events-out / -manifest-out the run additionally performs an
 // audited epsilon sweep — one metered auction whose build, reweight and
@@ -62,15 +64,18 @@ type namedBench struct {
 }
 
 // regressionThreshold is the relative ns/op growth over the committed
-// baseline at which a gated (cover/gain) benchmark fails `-baseline`.
+// baseline at which a gated (auction/cover/gain) benchmark fails
+// `-baseline`.
 const regressionThreshold = 0.25
 
 // gated reports whether a benchmark participates in the bench-diff
-// regression gate: the winner-set cover construction and marginal-gain
-// hot paths the CSR layout exists to keep fast.
+// regression gate: the auction build/run path (which every sharded
+// partition now executes per round) and the winner-set cover
+// construction and marginal-gain hot paths the CSR layout exists to
+// keep fast.
 func gated(name string) bool {
 	low := strings.ToLower(name)
-	return strings.Contains(low, "cover") || strings.Contains(low, "gain")
+	return strings.Contains(low, "auction") || strings.Contains(low, "cover") || strings.Contains(low, "gain")
 }
 
 func main() {
@@ -273,7 +278,7 @@ func diffAgainstBaseline(path string, fresh benchFile) error {
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("bench-diff gate (>%.0f%% on cover/gain): %s",
+		return fmt.Errorf("bench-diff gate (>%.0f%% on auction/cover/gain): %s",
 			100*regressionThreshold, strings.Join(regressions, "; "))
 	}
 	return nil

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled scales the acceptance fleet down under the race detector,
+// which caps the runtime at ~8k simultaneously alive goroutines.
+const raceEnabled = true

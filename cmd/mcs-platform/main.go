@@ -76,6 +76,11 @@ func run(args []string) error {
 		budget      = fs.Float64("budget", 0, "total privacy budget across all rounds (0 = unmetered)")
 		stateDir    = fs.String("state-dir", "", "persist budget/skill/campaign state here and recover it on startup (empty = in-memory only)")
 		snapEvery   = fs.Int("snapshot-every", 64, "WAL records between automatic snapshots when -state-dir is set (0 = snapshot only at exit)")
+		shards      = fs.Int("shards", 0, "partition the auction across this many shards (0 or 1 = unsharded)")
+		shardQueue  = fs.Int("shard-queue", 0, "per-shard bounded ingest queue depth in batches (0 = default 64)")
+		shardBatch  = fs.Int("shard-batch", 0, "bids coalesced per ingest batch (0 = default 32)")
+		shardQuorum = fs.Int("shard-quorum", 0, "minimum surviving shards for a merged round (0 = 1)")
+		maxConns    = fs.Int("max-conns", 0, "reject connections beyond this concurrent limit (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -205,6 +210,12 @@ func run(args []string) error {
 		Telemetry:  reg,
 		Tracer:     tracer,
 		StartRound: startRound,
+
+		Shards:          *shards,
+		ShardQueueDepth: *shardQueue,
+		ShardBatch:      *shardBatch,
+		ShardQuorum:     *shardQuorum,
+		MaxConns:        *maxConns,
 	}
 	if skills != nil {
 		cfg.Skills = skills.Func()
@@ -293,7 +304,7 @@ func run(args []string) error {
 		}
 		return enc.Encode(out)
 	}
-	return enc.Encode(map[string]any{
+	out := map[string]any{
 		"bidders":          report.Bidders,
 		"clearing_price":   report.Outcome.Price,
 		"winners":          len(report.Outcome.Winners),
@@ -302,7 +313,11 @@ func run(args []string) error {
 		"aggregated":       report.Aggregated,
 		"worker_ids":       report.WorkerIDs,
 		"faults":           report.Faults,
-	})
+	}
+	if report.Sharding != nil {
+		out["sharding"] = report.Sharding
+	}
+	return enc.Encode(out)
 }
 
 // writeManifest records the run's provenance: the effective flag

@@ -43,6 +43,7 @@ import (
 	"github.com/dphsrc/dphsrc/internal/plot"
 	"github.com/dphsrc/dphsrc/internal/privacy"
 	"github.com/dphsrc/dphsrc/internal/protocol"
+	"github.com/dphsrc/dphsrc/internal/shard"
 	"github.com/dphsrc/dphsrc/internal/stats"
 	"github.com/dphsrc/dphsrc/internal/store"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
@@ -233,6 +234,12 @@ var ComposedEpsilon = privacy.ComposedEpsilon
 // which the composed DP bound first permits the target advantage.
 var RoundsToDistinguish = privacy.RoundsToDistinguish
 
+// ParallelComposedEpsilon is the parallel-composition budget over
+// mechanisms run on disjoint worker populations (the max of their
+// epsilons); it is what a sharded round debits once for all its
+// partitions.
+var ParallelComposedEpsilon = privacy.ParallelComposedEpsilon
+
 // Workloads (internal/workload).
 type (
 	// WorkloadParams describes one simulated instance family (a row of
@@ -251,6 +258,22 @@ var (
 	// SettingIV is Table I row IV: N=1000, K in [200,500].
 	SettingIV = workload.SettingIV
 )
+
+// ArrivalCurve names a synthetic worker arrival shape over a bid
+// window (uniform, burst, ramp, poisson); used by mcs-loadgen.
+type ArrivalCurve = workload.ArrivalCurve
+
+// Supported arrival curves.
+const (
+	ArrivalUniform = workload.ArrivalUniform
+	ArrivalBurst   = workload.ArrivalBurst
+	ArrivalRamp    = workload.ArrivalRamp
+	ArrivalPoisson = workload.ArrivalPoisson
+)
+
+// Arrivals draws sorted worker arrival offsets within a bid window,
+// shaped by the named curve.
+var Arrivals = workload.Arrivals
 
 // Experiments (internal/experiment).
 type (
@@ -318,6 +341,14 @@ type (
 // fewer than PlatformConfig.Quorum valid bids.
 var ErrQuorumNotMet = protocol.ErrQuorumNotMet
 
+// Worker-side participation errors.
+var (
+	// ErrRejected reports a bid the platform turned away typed.
+	ErrRejected = protocol.ErrRejected
+	// ErrRemote wraps an error frame received from the peer.
+	ErrRemote = protocol.ErrRemote
+)
+
 // IsDegraded reports whether a round error is an expected degradation
 // (no bids, quorum not met, infeasible surviving bid set) rather than a
 // hard failure; degraded rounds spend no privacy budget.
@@ -335,10 +366,47 @@ type (
 	// FaultDialer is a ContextDialer that injects faults into every
 	// connection it opens, keying each dial attempt separately.
 	FaultDialer = faultnet.Dialer
+	// PartitionPlan is a deterministic schedule of shard kills for
+	// chaos-testing sharded rounds (plugs into ShardChaos).
+	PartitionPlan = faultnet.PartitionPlan
 )
 
 // NewFaultInjector validates a fault plan and returns an injector.
 var NewFaultInjector = faultnet.New
+
+// Sharded auction service (internal/shard): the scale-out layer that
+// partitions a round across independent auction partitions.
+type (
+	// ShardCoordinator routes bids to partitions and merges their
+	// auctions at round close; NewPlatform builds one automatically
+	// when PlatformConfig.Shards > 1.
+	ShardCoordinator = shard.Coordinator
+	// ShardConfig parameterizes a coordinator directly (for embedders
+	// that bypass the platform).
+	ShardConfig = shard.Config
+	// ShardRoundOutcome is the deterministic merge of one sharded
+	// round, attached to RoundReport.Sharding.
+	ShardRoundOutcome = shard.RoundOutcome
+	// ShardPartitionReport summarizes one partition's share of a round.
+	ShardPartitionReport = shard.PartitionReport
+)
+
+// NewShardCoordinator validates a shard configuration and returns a
+// coordinator.
+var NewShardCoordinator = shard.NewCoordinator
+
+// ShardFor returns the partition a worker ID consistently hashes to.
+var ShardFor = shard.PartitionFor
+
+// Shard-layer errors.
+var (
+	// ErrShardOverloaded is the backpressure rejection a worker sees
+	// when its partition's bounded ingest queue is full.
+	ErrShardOverloaded = shard.ErrOverloaded
+	// ErrTooManyConnections reports a connection rejected by the
+	// platform's MaxConns limit.
+	ErrTooManyConnections = protocol.ErrTooManyConnections
+)
 
 // NewPlatform validates the configuration and returns a Platform.
 var NewPlatform = protocol.NewPlatform
@@ -385,6 +453,11 @@ type (
 
 // NewSeeder returns a Seeder rooted at the given seed.
 var NewSeeder = stats.NewSeeder
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of a sample using
+// linear interpolation; mcs-loadgen computes its latency percentiles
+// with it.
+var Quantile = stats.Quantile
 
 // Geospatial workloads (internal/geo): the paper's motivating
 // geotagging scenario with spatially correlated bundles.

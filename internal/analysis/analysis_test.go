@@ -157,6 +157,25 @@ func TestPolicyResolve(t *testing.T) {
 		{"github.com/dphsrc/dphsrc/internal/store", CodeUncheckedWrite, true},
 		{"github.com/dphsrc/dphsrc/internal/store", CodeUncheckedClose, true},
 		{"github.com/dphsrc/dphsrc/internal/store", CodeLeakSink, false},
+		// shard: the merged round record must replay bit-for-bit, bids
+		// are taint sources, and the queue/collector machinery gets the
+		// full concurrency family.
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeGlobalRand, true},
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeWallClock, true},
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeMapOrder, true},
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeFloatEq, true},
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeLeakSink, true},
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeSleepPoll, true},
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeMutateNoWAL, true},
+		{"github.com/dphsrc/dphsrc/internal/shard", CodeLogUse, false},
+		// mcs-loadgen layers the determinism family on the cmd baseline:
+		// fleets replay from seeds, but arrival sleeps keep CON004 off.
+		{"github.com/dphsrc/dphsrc/cmd/mcs-loadgen", CodeGlobalRand, true},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-loadgen", CodeMapOrder, true},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-loadgen", CodeLogUse, true},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-loadgen", CodeUncheckedClose, true},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-loadgen", CodeSleepPoll, false},
+		{"github.com/dphsrc/dphsrc/cmd/mcs-loadgen", CodeMutateNoWAL, false},
 	}
 	for _, c := range cases {
 		if got := p.Resolve(c.pkg).Enabled(c.code); got != c.enabled {

@@ -259,10 +259,12 @@ func (p *Policy) IsDPRelease(name string) bool {
 //	internal/geo             ✓     —        FLT all    —         —          —
 //	internal/plot            ✓     —        FLT all    —         —          —          (charts must render byte-stable)
 //	internal/protocol        —     ✓+DPL003 FLT001     ✓         ✓          ✓          (evlog is the only sanctioned log sink)
+//	internal/shard           ✓     DPL001   FLT001     ✓         ✓          ✓          (merged outcomes must replay bit-for-bit)
 //	internal/store           ✓     —        FLT001     ✓         ✓          ✓          (replay must be deterministic; every WAL write checked)
 //	internal/faultnet        —     —        —          ✓         CON1-3     —          (sleep injection is the package's purpose: CON004 off)
 //	internal/telemetry       ✓     —        FLT001     ✓         CON1-3     DUR1,3
 //	cmd/*                    —     DPL all  —          ✓         ✓          DUR1,3     (evlog is the only sanctioned log sink)
+//	cmd/mcs-loadgen          ✓     DPL all  —          ✓         ✓          DUR1,3     (replayable fleets: seeds only, no global rand)
 //	examples/*               —     DPL001-2 —          ✓         —          —
 func DefaultPolicy() *Policy {
 	det := []string{CodeGlobalRand, CodeWallClock, CodeMapOrder}
@@ -297,6 +299,14 @@ func DefaultPolicy() *Policy {
 				// the one place the bid legitimately enters a wire frame.
 				AllowedLeakFuncs: []string{"participateOnce"},
 			},
+			// The sharded auction layer merges partition outcomes into a
+			// deterministic round record and carries sealed bids between
+			// the protocol and mechanism layers: full determinism set
+			// (identical admitted bids must merge byte-identically),
+			// leak-sink taint on the bid values, exact-float discipline
+			// for the epsilon merge, and the concurrency family for its
+			// queue/collector machinery.
+			{Match: "internal/shard", Enable: append(append(append(append([]string{CodeLeakSink, CodeFloatEq}, det...), errs...), cons...), durs...)},
 			// The durability layer's contract is bitwise replay: recovery
 			// re-folds the same records to the same floats, so nothing in
 			// the package may read the clock, global randomness, or map
@@ -314,6 +324,12 @@ func DefaultPolicy() *Policy {
 			// alongside the taint checks; examples keep stdlib log for
 			// pedagogical brevity (DPL003 off).
 			{Match: "cmd", Enable: append(append(append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse}, errs...), conNoPoll...), durNoWAL...)},
+			// The load generator's whole value is replayable fleets: a
+			// seed must reproduce the same bundles, costs, and arrival
+			// schedule, so the determinism family applies on top of the
+			// cmd baseline (sleep-poll stays off — arrival sleeps are the
+			// point).
+			{Match: "cmd/mcs-loadgen", Enable: det},
 			{Match: "examples", Enable: append([]string{CodeLeakSink, CodeLeakMessage}, errs...)},
 		},
 		SensitiveFields: map[string][]string{

@@ -1,0 +1,48 @@
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PartitionPlan is the shard-layer chaos schedule: a deterministic rule
+// for which auction partitions crash mid-round. Kills has the
+// shard.KillFunc shape, so the plan plugs straight into
+// shard.Config.Chaos (and protocol.PlatformConfig.ShardChaos): the same
+// (Seed, KillRate) pair always fails the same partitions in the same
+// rounds, which keeps chaos experiments replayable.
+type PartitionPlan struct {
+	// Seed roots the kill schedule; each (round, partition) pair draws
+	// from its own stream derived from it.
+	Seed int64
+	// KillRate is the independent probability in [0,1] that a given
+	// partition dies in a given round.
+	KillRate float64
+}
+
+// Validate checks the plan's rate.
+func (p PartitionPlan) Validate() error {
+	if p.KillRate < 0 || p.KillRate > 1 {
+		return fmt.Errorf("%w: kill rate %v outside [0,1]", ErrBadPlan, p.KillRate)
+	}
+	return nil
+}
+
+// Kills reports whether the plan fails the given partition in the
+// given round. Deterministic in (Seed, round, partition); an invalid
+// rate kills nothing.
+func (p PartitionPlan) Kills(round, partition int) bool {
+	if p.KillRate <= 0 || p.KillRate > 1 {
+		return false
+	}
+	// Mix the coordinates into an independent stream seed with a
+	// splitmix64 finalizer, mirroring how protocol.RoundSeed derives
+	// round streams.
+	z := uint64(p.Seed) ^ (uint64(round)+1)*0x9e3779b97f4a7c15 ^ (uint64(partition)+1)*0xd1342543de82ef95
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z))).Float64() < p.KillRate
+}

@@ -1,0 +1,82 @@
+package faultnet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPartitionPlanValidate(t *testing.T) {
+	for _, rate := range []float64{0, 0.5, 1} {
+		if err := (PartitionPlan{KillRate: rate}).Validate(); err != nil {
+			t.Fatalf("rate %v rejected: %v", rate, err)
+		}
+	}
+	for _, rate := range []float64{-0.1, 1.1} {
+		if err := (PartitionPlan{KillRate: rate}).Validate(); !errors.Is(err, ErrBadPlan) {
+			t.Fatalf("rate %v: %v, want ErrBadPlan", rate, err)
+		}
+	}
+}
+
+func TestPartitionPlanDeterministic(t *testing.T) {
+	plan := PartitionPlan{Seed: 42, KillRate: 0.3}
+	for round := 0; round < 8; round++ {
+		for part := 0; part < 8; part++ {
+			if plan.Kills(round, part) != plan.Kills(round, part) {
+				t.Fatalf("plan not deterministic at (%d,%d)", round, part)
+			}
+		}
+	}
+	// A different seed must produce a different schedule somewhere.
+	other := PartitionPlan{Seed: 43, KillRate: 0.3}
+	same := true
+	for round := 0; round < 16 && same; round++ {
+		for part := 0; part < 16; part++ {
+			if plan.Kills(round, part) != other.Kills(round, part) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical kill schedules")
+	}
+}
+
+func TestPartitionPlanRateBounds(t *testing.T) {
+	never := PartitionPlan{Seed: 1, KillRate: 0}
+	always := PartitionPlan{Seed: 1, KillRate: 1}
+	invalid := PartitionPlan{Seed: 1, KillRate: 1.5}
+	for round := 0; round < 16; round++ {
+		for part := 0; part < 16; part++ {
+			if never.Kills(round, part) {
+				t.Fatalf("rate 0 killed (%d,%d)", round, part)
+			}
+			if !always.Kills(round, part) {
+				t.Fatalf("rate 1 spared (%d,%d)", round, part)
+			}
+			if invalid.Kills(round, part) {
+				t.Fatalf("invalid rate killed (%d,%d), want no-op", round, part)
+			}
+		}
+	}
+}
+
+// TestPartitionPlanRateRoughlyHolds: across many (round, partition)
+// coordinates the empirical kill fraction tracks the configured rate.
+func TestPartitionPlanRateRoughlyHolds(t *testing.T) {
+	plan := PartitionPlan{Seed: 9, KillRate: 0.25}
+	kills, total := 0, 0
+	for round := 0; round < 100; round++ {
+		for part := 0; part < 100; part++ {
+			total++
+			if plan.Kills(round, part) {
+				kills++
+			}
+		}
+	}
+	frac := float64(kills) / float64(total)
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("empirical kill rate %v far from configured 0.25", frac)
+	}
+}

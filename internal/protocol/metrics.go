@@ -23,10 +23,16 @@ type platformMetrics struct {
 	bidsDuplicate *telemetry.Counter
 
 	// mcs_protocol_round_faults_total{kind=...}: the post-auction fault
-	// classes of RoundFaults.
+	// classes of RoundFaults, plus partition losses in sharded rounds.
 	faultWinnerUnreachable *telemetry.Counter
 	faultWinnerEvicted     *telemetry.Counter
 	faultLoserUnnotified   *telemetry.Counter
+	faultPartitionLost     *telemetry.Counter
+
+	// mcs_protocol_connections_active: connections currently holding a
+	// slot between accept and close; bounded by PlatformConfig.MaxConns
+	// when set.
+	connsActive *telemetry.Gauge
 
 	// mcs_protocol_rounds_total{outcome=...}: every round ends in
 	// exactly one of completed / degraded / failed.
@@ -67,6 +73,10 @@ func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
 		faultWinnerUnreachable: reg.Counter(`mcs_protocol_round_faults_total{kind="winner_unreachable"}`, faultsHelp),
 		faultWinnerEvicted:     reg.Counter(`mcs_protocol_round_faults_total{kind="winner_evicted"}`, faultsHelp),
 		faultLoserUnnotified:   reg.Counter(`mcs_protocol_round_faults_total{kind="loser_unnotified"}`, faultsHelp),
+		faultPartitionLost:     reg.Counter(`mcs_protocol_round_faults_total{kind="partition_lost"}`, faultsHelp),
+
+		connsActive: reg.Gauge("mcs_protocol_connections_active",
+			"Connections currently holding an accepted slot."),
 
 		roundsCompleted: reg.Counter(`mcs_protocol_rounds_total{outcome="completed"}`, roundsHelp),
 		roundsDegraded:  reg.Counter(`mcs_protocol_rounds_total{outcome="degraded"}`, roundsHelp),

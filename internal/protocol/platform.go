@@ -9,11 +9,13 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/mechanism"
+	"github.com/dphsrc/dphsrc/internal/shard"
 	"github.com/dphsrc/dphsrc/internal/store"
 	"github.com/dphsrc/dphsrc/internal/telemetry"
 	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
@@ -28,17 +30,23 @@ var (
 	// fewer accepted bids than cfg.Quorum requires. The round spent no
 	// privacy budget; the platform may simply run another round.
 	ErrQuorumNotMet = errors.New("protocol: quorum not met")
+	// ErrTooManyConnections reports a connection rejected because the
+	// platform is already servicing cfg.MaxConns connections; the
+	// worker should back off and retry.
+	ErrTooManyConnections = errors.New("protocol: connection limit reached")
 )
 
 // IsDegraded reports whether a round error is a graceful degradation —
-// too few bids survived the network, or the surviving bids cannot
-// cover the tasks — as opposed to a hard failure. Degraded rounds
-// never debit the privacy accountant, so a campaign can safely skip
-// them and try again.
+// too few bids survived the network, the surviving bids cannot cover
+// the tasks, or too few shard partitions survived a sharded round — as
+// opposed to a hard failure. Degraded rounds never debit the privacy
+// accountant, so a campaign can safely skip them and try again.
 func IsDegraded(err error) bool {
 	return errors.Is(err, ErrNoBids) ||
 		errors.Is(err, ErrQuorumNotMet) ||
-		errors.Is(err, core.ErrInfeasible)
+		errors.Is(err, core.ErrInfeasible) ||
+		errors.Is(err, shard.ErrNoPartitions) ||
+		errors.Is(err, shard.ErrPartitionQuorum)
 }
 
 // SkillFunc supplies the platform's historical skill estimate for a
@@ -108,6 +116,40 @@ type PlatformConfig struct {
 	// exact per-round seeds of the unbroken run without ever re-drawing
 	// a round it already paid.
 	StartRound int
+	// Shards, when > 1, partitions each round's accepted bids across
+	// that many auction partitions by consistent worker-ID hashing
+	// (see internal/shard): bids are batched into per-partition core
+	// auctions through bounded queues, the partitions run concurrently
+	// at round close, and their outcomes merge under a single
+	// parallel-composition debit — the same epsilon the unsharded
+	// round spends, bit-for-bit. 0 or 1 keeps the single-auction path.
+	Shards int
+	// ShardQueueDepth bounds each partition's ingest queue (batches);
+	// ShardBatch sets the bids-per-batch coalescing size; ShardMaxBids
+	// caps admissions per partition per round. Zero values take the
+	// shard package defaults (64 / 32 / depth*batch). A full queue or
+	// cap rejects further bids with backpressure rather than buffering
+	// without bound.
+	ShardQueueDepth int
+	ShardBatch      int
+	ShardMaxBids    int
+	// ShardQuorum is the minimum number of partitions that must
+	// produce an outcome for a sharded round to complete; a partition
+	// killed mid-round degrades the round to a fault-accounted partial
+	// outcome over the survivors as long as the quorum holds. Values
+	// below 1 mean 1.
+	ShardQuorum int
+	// ShardChaos, when non-nil, is consulted once per (round,
+	// partition) at auction time: true simulates that partition
+	// crashing mid-round. Deterministic implementations live in
+	// internal/faultnet (PartitionPlan.Kills).
+	ShardChaos shard.KillFunc
+	// MaxConns caps concurrently serviced connections; further
+	// connects during a round are rejected with ErrTooManyConnections
+	// (counted under mcs_protocol_bids_total{result="rejected"}). 0
+	// means unlimited. The live count is exported as the
+	// mcs_protocol_connections_active gauge either way.
+	MaxConns int
 }
 
 // validate checks the configuration.
@@ -129,6 +171,13 @@ func (c *PlatformConfig) validate() error {
 		return fmt.Errorf("%w: Quorum=%d", ErrBadPlatform, c.Quorum)
 	case c.StartRound < 0:
 		return fmt.Errorf("%w: StartRound=%d", ErrBadPlatform, c.StartRound)
+	case c.Shards < 0 || c.ShardQueueDepth < 0 || c.ShardBatch < 0 || c.ShardMaxBids < 0:
+		return fmt.Errorf("%w: Shards=%d ShardQueueDepth=%d ShardBatch=%d ShardMaxBids=%d",
+			ErrBadPlatform, c.Shards, c.ShardQueueDepth, c.ShardBatch, c.ShardMaxBids)
+	case c.Shards > 1 && c.ShardQuorum > c.Shards:
+		return fmt.Errorf("%w: ShardQuorum=%d exceeds Shards=%d", ErrBadPlatform, c.ShardQuorum, c.Shards)
+	case c.MaxConns < 0:
+		return fmt.Errorf("%w: MaxConns=%d", ErrBadPlatform, c.MaxConns)
 	}
 	return nil
 }
@@ -170,12 +219,16 @@ type RoundFaults struct {
 	// LosersUnnotified counts losers whose outcome notification failed
 	// (harmless: they time out on their own).
 	LosersUnnotified int `json:"losers_unnotified"`
+	// PartitionsLost counts shard partitions killed mid-round; the
+	// round completed as a partial outcome over the survivors. Always
+	// 0 for unsharded rounds.
+	PartitionsLost int `json:"partitions_lost,omitempty"`
 }
 
 // Total sums all tolerated faults.
 func (f RoundFaults) Total() int {
 	return f.HandshakesFailed + f.DuplicatesRejected + f.WinnersUnreachable +
-		f.WinnersEvicted + f.LosersUnnotified
+		f.WinnersEvicted + f.LosersUnnotified + f.PartitionsLost
 }
 
 // RoundReport summarizes one completed auction round.
@@ -199,12 +252,26 @@ type RoundReport struct {
 	ReportsReceived int
 	// Faults accounts the per-session failures the round survived.
 	Faults RoundFaults
+	// Sharding carries the per-partition breakdown of a sharded round
+	// (Shards > 1): partition statuses, bid counts, and per-partition
+	// clearing prices. Nil for unsharded rounds. For sharded rounds
+	// Outcome.Price is 0 — each winner is paid its own partition's
+	// clearing price (see Sharding.Winners) and Outcome.TotalPayment
+	// sums the partition totals.
+	Sharding *shard.RoundOutcome `json:",omitempty"`
 }
 
 // Platform runs DP-hSRC auction rounds over TCP.
 type Platform struct {
 	cfg PlatformConfig
 	met platformMetrics
+	// coord partitions sharded rounds; nil when Shards <= 1.
+	coord *shard.Coordinator
+	// connsActive tracks concurrently serviced connections for the
+	// MaxConns admission check; the telemetry gauge mirrors it (the
+	// atomic is authoritative because nil-registry gauges cannot be
+	// read back).
+	connsActive atomic.Int64
 	// roundMu guards nextRound, the campaign-wide index handed to the
 	// next round attempt. It starts at cfg.StartRound and advances once
 	// per attempt, completed or not, matching the journal's
@@ -229,6 +296,30 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		cfg.Seed = time.Now().UnixNano()
 	}
 	p := &Platform{cfg: cfg, met: newPlatformMetrics(cfg.Telemetry), nextRound: cfg.StartRound}
+	if cfg.Shards > 1 {
+		coord, err := shard.NewCoordinator(shard.Config{
+			Partitions:          cfg.Shards,
+			QueueDepth:          cfg.ShardQueueDepth,
+			BatchSize:           cfg.ShardBatch,
+			MaxBidsPerPartition: cfg.ShardMaxBids,
+			Quorum:              cfg.ShardQuorum,
+			NumTasks:            cfg.NumTasks,
+			Thresholds:          cfg.Thresholds,
+			Epsilon:             cfg.Epsilon,
+			CMin:                cfg.CMin,
+			CMax:                cfg.CMax,
+			PriceGrid:           cfg.PriceGrid,
+			Skills:              shard.SkillFunc(cfg.Skills),
+			Accountant:          cfg.Accountant,
+			Events:              cfg.Events,
+			Telemetry:           cfg.Telemetry,
+			Chaos:               cfg.ShardChaos,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPlatform, err)
+		}
+		p.coord = coord
+	}
 	cfg.Events.Info("platform.seed", evlog.Int64("seed", cfg.Seed))
 	// An int64 seed exceeds float64's exact-integer range, so the value
 	// rides in a label (info-style gauge) rather than the sample.
@@ -394,11 +485,21 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 		// Refuse up front when the budget cannot cover this round: a
 		// doomed round must not even collect bids. The actual debit
 		// happens later, at the moment the price draw is committed, so
-		// rounds that degrade beforehand spend nothing.
+		// rounds that degrade beforehand spend nothing. A sharded
+		// round's merged debit is the parallel composition of the
+		// partition epsilons — exactly cfg.Epsilon — so the same check
+		// covers both paths.
 		if rem := p.cfg.Accountant.Remaining(); rem+1e-12 < p.cfg.Epsilon {
 			return RoundReport{}, nil, fmt.Errorf("%w: remaining %v cannot cover epsilon %v",
 				mechanism.ErrBudgetExhausted, rem, p.cfg.Epsilon)
 		}
+	}
+	if p.coord != nil {
+		// Open the shard ingest queues before the bid window; the
+		// deferred close is idempotent and guarantees the partition
+		// collectors drain on every exit path, including degradations.
+		p.coord.BeginRound(round)
+		defer p.coord.CloseRound()
 	}
 
 	collectStart := reg.Now()
@@ -411,6 +512,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 	defer func() {
 		for _, s := range sessions {
 			_ = s.conn.Close()
+			p.releaseConn()
 		}
 	}()
 	// Deterministic order: the auction's worker indices follow sorted
@@ -432,15 +534,34 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 
 	auctionStart := reg.Now()
 	auctionSpan := root.StartChild("auction")
-	outcome, inst, err := p.runAuctionPhase(sessions, round, auctionSpan.ID())
+	var (
+		outcome      core.Outcome
+		skills       [][]float64
+		winnerPrices []float64
+		shardOut     *shard.RoundOutcome
+	)
+	if p.coord != nil {
+		outcome, skills, winnerPrices, shardOut, err = p.runShardedAuctionPhase(ctx, sessions, round, auctionSpan.ID(), &faults)
+	} else {
+		var inst core.Instance
+		outcome, inst, err = p.runAuctionPhase(sessions, round, auctionSpan.ID())
+		skills = inst.Skills
+		// Single auction: every winner is paid the one sampled
+		// clearing price.
+		winnerPrices = make([]float64, len(sessions))
+		for _, w := range outcome.Winners {
+			winnerPrices[w] = outcome.Price
+		}
+	}
 	phaseDone("auction", auctionSpan, p.met.phaseAuction, auctionStart)
 	if err != nil {
-		return RoundReport{Faults: faults}, nil, err
+		return RoundReport{Faults: faults, Sharding: shardOut}, nil, err
 	}
 
 	report := RoundReport{
-		Bidders: len(sessions),
-		Outcome: outcome,
+		Bidders:  len(sessions),
+		Outcome:  outcome,
+		Sharding: shardOut,
 	}
 	for _, s := range sessions {
 		report.WorkerIDs = append(report.WorkerIDs, s.workerID)
@@ -489,7 +610,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 		wg.Add(1)
 		go func(i int, s *session) {
 			defer wg.Done()
-			if err := s.conn.Send(Message{Type: TypeOutcome, Won: true, ClearingPrice: outcome.Price}); err != nil {
+			if err := s.conn.Send(Message{Type: TypeOutcome, Won: true, ClearingPrice: winnerPrices[i]}); err != nil {
 				fmu.Lock()
 				faults.WinnersUnreachable++
 				fmu.Unlock()
@@ -520,7 +641,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 				got = append(got, crowd.Report{Worker: i, Task: lr.Task, Label: crowd.Label(lr.Label)})
 			}
 			perWinner[i] = got
-			_ = s.conn.Send(Message{Type: TypePayment, Amount: outcome.Price})
+			_ = s.conn.Send(Message{Type: TypePayment, Amount: winnerPrices[i]})
 			_ = s.conn.Send(Message{Type: TypeDone})
 		}(i, sessions[i])
 	}
@@ -536,7 +657,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 
 	aggStart := reg.Now()
 	aggSpan := root.StartChild("aggregate")
-	agg, err := crowd.WeightedAggregate(reports, inst.Skills, inst.NumTasks)
+	agg, err := crowd.WeightedAggregate(reports, skills, p.cfg.NumTasks)
 	phaseDone("aggregate", aggSpan, p.met.phaseAggregate, aggStart)
 	if err != nil {
 		return RoundReport{Faults: faults}, nil, fmt.Errorf("protocol: aggregation: %w", err)
@@ -579,6 +700,92 @@ func (p *Platform) runAuctionPhase(sessions []*session, round int, spanID int64)
 	return outcome, inst, nil
 }
 
+// runShardedAuctionPhase closes the shard round and merges the
+// partition auctions (see shard.Coordinator.RunRound), then maps the
+// merged outcome back onto session indices: Outcome.Winners are the
+// winning sessions in index order and winnerPrices carries each
+// winner's own partition clearing price (the amount it is notified of
+// and paid). Killed partitions are tolerated faults, accounted under
+// RoundFaults.PartitionsLost with one round.fault event each, exactly
+// like the per-session fault classes.
+func (p *Platform) runShardedAuctionPhase(ctx context.Context, sessions []*session, round int, spanID int64, faults *RoundFaults) (core.Outcome, [][]float64, []float64, *shard.RoundOutcome, error) {
+	ev := p.cfg.Events
+	so, err := p.coord.RunRound(ctx, RoundSeed(p.cfg.Seed, round))
+	for _, pr := range so.Partitions {
+		if pr.Status != shard.StatusKilled {
+			continue
+		}
+		faults.PartitionsLost++
+		p.met.faultPartitionLost.Inc()
+		ev.Warn("round.fault",
+			evlog.String("kind", "partition_lost"),
+			evlog.Int64("span", spanID),
+			evlog.Int("partition", pr.Partition))
+	}
+	if err != nil {
+		return core.Outcome{}, nil, nil, &so, err
+	}
+
+	index := make(map[string]int, len(sessions))
+	skills := make([][]float64, len(sessions))
+	for i, s := range sessions {
+		index[s.workerID] = i
+		skills[i] = p.cfg.Skills(s.workerID, p.cfg.NumTasks)
+	}
+	// Merged winners arrive sorted by worker ID and sessions are
+	// sorted the same way, so the mapped indices come out ascending —
+	// the deterministic order the report contract requires.
+	outcome := core.Outcome{Feasible: true, TotalPayment: so.TotalPayment}
+	winnerPrices := make([]float64, len(sessions))
+	for _, w := range so.Winners {
+		i, ok := index[w.WorkerID]
+		if !ok {
+			// A winner the session table does not know would be a
+			// routing bug; fail loudly rather than mis-pay.
+			return core.Outcome{}, nil, nil, &so, fmt.Errorf("protocol: sharded winner %q has no session", w.WorkerID)
+		}
+		outcome.Winners = append(outcome.Winners, i)
+		winnerPrices[i] = w.Price
+	}
+	sort.Ints(outcome.Winners)
+	ev.Debug("round.price_drawn",
+		evlog.Int64("span", spanID),
+		evlog.Aggregate("clearing_price", outcome.Price),
+		evlog.Int("winners", len(outcome.Winners)))
+	return outcome, skills, winnerPrices, &so, nil
+}
+
+// acquireConn reserves one connection slot, returning false when
+// cfg.MaxConns is set and already saturated (the reservation is rolled
+// back). The atomic reservation means the cap is never overshot even
+// under concurrent accepts.
+func (p *Platform) acquireConn() bool {
+	n := p.connsActive.Add(1)
+	if p.cfg.MaxConns > 0 && n > int64(p.cfg.MaxConns) {
+		p.connsActive.Add(-1)
+		return false
+	}
+	p.met.connsActive.Add(1)
+	return true
+}
+
+// releaseConn returns a connection slot reserved by acquireConn.
+func (p *Platform) releaseConn() {
+	p.connsActive.Add(-1)
+	p.met.connsActive.Add(-1)
+}
+
+// deadlineListener is a listener whose blocked Accept can be woken by
+// setting an accept deadline in the past — net.TCPListener implements
+// it, as do the in-memory listeners the tests and the load generator
+// use. Wrapper listeners that hide the method (embedding the plain
+// net.Listener interface, as internal/faultnet does) fall back to the
+// self-connection poke.
+type deadlineListener interface {
+	net.Listener
+	SetDeadline(time.Time) error
+}
+
 // collectBids accepts connections and performs the hello/announce/bid
 // handshake until the bid window closes, MinWorkers is reached, or ctx
 // is cancelled. Individual handshake failures are tolerated and
@@ -596,17 +803,31 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int6
 		wg       sync.WaitGroup
 	)
 
-	// Unblock Accept when the window ends by closing a watchdog.
+	// Unblock Accept when the window ends. A deadline-capable listener
+	// is woken directly: SetDeadline applies to an Accept that is
+	// already blocked, so setting a deadline in the past makes it
+	// return a timeout immediately, with no network traffic. Only
+	// listeners without deadline support fall back to poking Accept
+	// awake with a self-connection.
 	acceptDone := make(chan struct{})
-	go func() {
-		<-windowCtx.Done()
-		// Poke the listener with a self-connection so Accept returns
-		// even on platforms without deadline support on this listener.
-		if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
-			_ = conn.Close()
-		}
-		close(acceptDone)
-	}()
+	dl, hasDeadline := ln.(deadlineListener)
+	if hasDeadline {
+		// Clear the past deadline a previous round's close left set.
+		_ = dl.SetDeadline(time.Time{})
+		go func() {
+			defer close(acceptDone)
+			<-windowCtx.Done()
+			_ = dl.SetDeadline(time.Unix(1, 0))
+		}()
+	} else {
+		go func() {
+			defer close(acceptDone)
+			<-windowCtx.Done()
+			if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+				_ = conn.Close()
+			}
+		}()
+	}
 
 	for {
 		select {
@@ -616,12 +837,11 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int6
 			return sessions, faults, nil
 		default:
 		}
-		if tl, ok := ln.(*net.TCPListener); ok {
-			_ = tl.SetDeadline(time.Now().Add(100 * time.Millisecond))
-		}
 		raw, err := ln.Accept()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// The end-of-window deadline (or a spurious timeout);
+				// the top-of-loop select sorts out which.
 				continue
 			}
 			select {
@@ -633,12 +853,35 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int6
 			}
 			return nil, faults, fmt.Errorf("protocol: accept: %w", err)
 		}
+		if !p.acquireConn() {
+			// Connection limit reached: reject without handshaking. The
+			// rejection write sits on a network deadline, so it runs off
+			// the accept loop like every slow-path interaction.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if windowCtx.Err() == nil {
+					mu.Lock()
+					faults.HandshakesFailed++
+					mu.Unlock()
+					p.met.bidsRejected.Inc()
+					ev.Warn("round.fault",
+						evlog.String("kind", "handshake_failed"),
+						evlog.Int64("span", spanID),
+						evlog.String("cause", "over_limit"))
+				}
+				_ = NewConn(raw, p.cfg.IOTimeout).SendError(ErrTooManyConnections)
+				_ = raw.Close()
+			}()
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			s, err := p.handshake(raw)
 			if err != nil {
 				_ = raw.Close()
+				p.releaseConn()
 				// Failures after the window closed are not faults: they
 				// are sessions the close itself cut — including the
 				// watchdog's own self-connection poke.
@@ -676,7 +919,28 @@ func (p *Platform) collectBids(ctx context.Context, ln net.Listener, spanID int6
 					evlog.String("worker", s.workerID))
 				_ = s.conn.SendError(fmt.Errorf("%w: %s", ErrDuplicateBid, s.workerID))
 				_ = s.conn.Close()
+				p.releaseConn()
 				return
+			}
+			if p.coord != nil {
+				// Sharded ingest: the bid is admitted to its partition's
+				// bounded queue before the session registers, so a
+				// registered session IS an admitted bid — accepted bids
+				// are never dropped by backpressure later.
+				if serr := p.coord.Submit(shard.Bid{WorkerID: s.workerID, Bundle: s.bundle, Price: s.price}); serr != nil {
+					faults.HandshakesFailed++
+					mu.Unlock()
+					p.met.bidsRejected.Inc()
+					ev.Warn("round.fault",
+						evlog.String("kind", "handshake_failed"),
+						evlog.Int64("span", spanID),
+						evlog.String("cause", "shard_overloaded"),
+						evlog.String("worker", s.workerID))
+					_ = s.conn.SendError(fmt.Errorf("%w: %s", shard.ErrOverloaded, s.workerID))
+					_ = s.conn.Close()
+					p.releaseConn()
+					return
+				}
 			}
 			seen[s.workerID] = true
 			sessions = append(sessions, s)

@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/dphsrc/dphsrc/internal/core"
+	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
+)
+
+// partition is one auction partition's per-round state. bids is owned
+// by the collector goroutine until its done channel closes (which
+// CloseRound awaits), after which the coordinator reads it freely.
+type partition struct {
+	idx  int
+	q    *queue
+	done chan struct{}
+	bids []Bid
+}
+
+// Coordinator routes bids to partitions for one round at a time and
+// merges the partition auctions at round close. Submit is safe for
+// concurrent use; BeginRound / CloseRound / RunRound are the round
+// lifecycle and are called from the platform's round loop.
+type Coordinator struct {
+	cfg Config
+	met shardMetrics
+
+	mu     sync.Mutex
+	round  int
+	open   bool
+	closed bool
+	parts  []*partition
+}
+
+// NewCoordinator validates the configuration, applies defaults
+// (QueueDepth 64, BatchSize 32, Quorum 1), and returns a Coordinator.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.MaxBidsPerPartition == 0 {
+		cfg.MaxBidsPerPartition = cfg.QueueDepth * cfg.BatchSize
+	}
+	if cfg.Quorum < 1 {
+		cfg.Quorum = 1
+	}
+	return &Coordinator{cfg: cfg, met: newShardMetrics(cfg.Telemetry, cfg.Partitions)}, nil
+}
+
+// Partitions returns the configured partition count.
+func (c *Coordinator) Partitions() int { return c.cfg.Partitions }
+
+// BeginRound opens a fresh round: new bounded queues, one collector
+// goroutine per partition. An unclosed previous round is drained
+// first so collectors never leak across rounds.
+func (c *Coordinator) BeginRound(round int) {
+	c.CloseRound()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.round = round
+	c.parts = make([]*partition, c.cfg.Partitions)
+	for i := range c.parts {
+		p := &partition{
+			idx:  i,
+			q:    newQueue(c.cfg.QueueDepth, c.cfg.BatchSize, c.cfg.MaxBidsPerPartition),
+			done: make(chan struct{}),
+		}
+		c.parts[i] = p
+		go func(p *partition) {
+			defer close(p.done)
+			// The loop's stop path is the queue close: CloseRound
+			// closes the channel and awaits done before any read of
+			// p.bids, which is the synchronization barrier.
+			for batch := range p.q.ch {
+				c.met.batches.Inc()
+				p.bids = append(p.bids, batch...)
+			}
+		}(p)
+	}
+	c.open = true
+	c.closed = false
+}
+
+// Submit routes one accepted bid to its consistent-hash partition.
+// ErrOverloaded is the backpressure rejection (queue or admission cap
+// full): the bid was NOT admitted and the caller must reject it to the
+// worker. ErrRoundClosed reports a submit outside an open round.
+func (c *Coordinator) Submit(b Bid) error {
+	c.mu.Lock()
+	if !c.open {
+		c.mu.Unlock()
+		return ErrRoundClosed
+	}
+	p := c.parts[PartitionFor(b.WorkerID, c.cfg.Partitions)]
+	c.mu.Unlock()
+	if err := p.q.put(b); err != nil {
+		if err != ErrRoundClosed {
+			c.met.overloads.Inc()
+		}
+		return err
+	}
+	c.met.bidsPerShard[p.idx].Inc()
+	return nil
+}
+
+// CloseRound stops admissions, flushes every partition queue, and
+// waits for the collectors to drain. Idempotent; safe to call on a
+// coordinator whose round never began.
+func (c *Coordinator) CloseRound() {
+	c.mu.Lock()
+	if c.closed || c.parts == nil {
+		c.closed = true
+		c.open = false
+		c.mu.Unlock()
+		return
+	}
+	c.open = false
+	c.closed = true
+	parts := c.parts
+	c.mu.Unlock()
+	for _, p := range parts {
+		p.q.close()
+		<-p.done
+	}
+}
+
+// builtPartition is one partition's state after the build step.
+type builtPartition struct {
+	status string
+	bids   []Bid
+	a      *core.Auction
+}
+
+// buildPartition sorts the partition's admitted bids, consults the
+// chaos seam, and builds (but does not run) its core auction. A kill
+// or cancellation surfaces as StatusKilled, an uncoverable bid set as
+// StatusInfeasible — both degrade the partition, never the process.
+func (c *Coordinator) buildPartition(ctx context.Context, round int, p *partition) builtPartition {
+	bids := p.bids
+	sortBids(bids)
+	if c.cfg.Chaos != nil && c.cfg.Chaos(round, p.idx) {
+		return builtPartition{status: StatusKilled, bids: bids}
+	}
+	if ctxErr(ctx) != nil {
+		return builtPartition{status: StatusKilled, bids: bids}
+	}
+	if len(bids) == 0 {
+		return builtPartition{status: StatusEmpty}
+	}
+	inst, err := c.cfg.buildInstance(bids)
+	if err != nil {
+		return builtPartition{status: StatusInfeasible, bids: bids}
+	}
+	a, err := core.New(inst,
+		core.WithTelemetry(c.cfg.Telemetry),
+		core.WithEventLog(c.cfg.Events))
+	if err != nil {
+		return builtPartition{status: StatusInfeasible, bids: bids}
+	}
+	return builtPartition{status: StatusOK, bids: bids, a: a}
+}
+
+// RunRound closes the round (if still open), builds every partition's
+// auction concurrently, debits the accountant once with the
+// parallel-composed epsilon over the surviving partitions, then draws
+// each survivor's clearing price from its derived seed and merges the
+// outcomes deterministically (partition order; winners sorted by
+// worker ID).
+//
+// Failure modes: ErrNoPartitions when nothing survived,
+// ErrPartitionQuorum when fewer than Quorum partitions produced
+// outcomes (both graceful degradations — no budget is spent), and the
+// accountant's own refusal. The partial RoundOutcome accompanies every
+// error so the caller can fault-account the lost partitions.
+func (c *Coordinator) RunRound(ctx context.Context, roundSeed int64) (RoundOutcome, error) {
+	c.CloseRound()
+	c.mu.Lock()
+	parts := c.parts
+	round := c.round
+	c.mu.Unlock()
+	if parts == nil {
+		return RoundOutcome{}, ErrRoundClosed
+	}
+	reg := c.cfg.Telemetry
+	ev := c.cfg.Events
+	start := reg.Now()
+
+	// Build phase: every partition concurrently. The results slice is
+	// index-owned per goroutine and the WaitGroup is the barrier.
+	built := make([]builtPartition, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			built[i] = c.buildPartition(ctx, round, parts[i])
+		}(i)
+	}
+	wg.Wait()
+
+	out := RoundOutcome{Round: round, Partitions: make([]PartitionReport, len(parts))}
+	survivors := 0
+	for i, b := range built {
+		out.Partitions[i] = PartitionReport{
+			Partition: i,
+			Bidders:   parts[i].q.count(),
+			Status:    b.status,
+		}
+		out.Bidders += out.Partitions[i].Bidders
+		c.met.statusCounter(b.status).Inc()
+		switch b.status {
+		case StatusOK:
+			survivors++
+			out.Completed++
+		case StatusKilled:
+			out.Killed++
+		case StatusInfeasible:
+			out.Infeasible++
+		case StatusEmpty:
+			out.Empty++
+		}
+	}
+
+	if survivors == 0 {
+		c.emitRound(&out)
+		return out, ErrNoPartitions
+	}
+	if survivors < c.cfg.Quorum {
+		c.emitRound(&out)
+		return out, fmt.Errorf("%w: %d of %d partitions produced outcomes",
+			ErrPartitionQuorum, survivors, c.cfg.Quorum)
+	}
+
+	// One debit for the whole merged round: the partitions hold
+	// disjoint worker sets, so parallel composition charges the max of
+	// their (uniform) epsilons — the same float the unsharded round
+	// debits, immediately before the price draws it covers.
+	out.Epsilon = mergeEpsilon(c.cfg.Epsilon, survivors)
+	if c.cfg.Accountant != nil {
+		if err := c.cfg.Accountant.Spend(out.Epsilon); err != nil {
+			c.emitRound(&out)
+			return out, err
+		}
+	}
+
+	// Draw phase: sequential in partition order so the merged outcome
+	// is deterministic; each partition's price comes from its own
+	// derived seed.
+	for i, b := range built {
+		if b.status != StatusOK {
+			continue
+		}
+		oc := drawOutcome(b.a, roundSeed, i)
+		rep := &out.Partitions[i]
+		rep.Price = oc.Price
+		rep.TotalPayment = oc.TotalPayment
+		for _, w := range oc.Winners {
+			rep.Winners = append(rep.Winners, b.bids[w].WorkerID)
+			out.Winners = append(out.Winners, Winner{WorkerID: b.bids[w].WorkerID, Price: oc.Price})
+		}
+		out.TotalPayment += oc.TotalPayment
+		ev.Debug("shard.partition",
+			evlog.Int("round", round),
+			evlog.Int("partition", i),
+			evlog.Int("bidders", rep.Bidders),
+			evlog.Int("winners", len(rep.Winners)),
+			evlog.Aggregate("clearing_price", oc.Price),
+			evlog.String("status", b.status))
+	}
+	sortWinners(out.Winners)
+	c.emitRound(&out)
+	c.met.mergeSeconds.Observe(reg.Since(start))
+	return out, nil
+}
+
+// emitRound logs the merged round summary.
+func (c *Coordinator) emitRound(out *RoundOutcome) {
+	c.cfg.Events.Info("shard.round",
+		evlog.Int("round", out.Round),
+		evlog.Int("partitions", len(out.Partitions)),
+		evlog.Int("completed", out.Completed),
+		evlog.Int("killed", out.Killed),
+		evlog.Int("infeasible", out.Infeasible),
+		evlog.Int("empty", out.Empty),
+		evlog.Int("bidders", out.Bidders),
+		evlog.Int("winners", len(out.Winners)),
+		evlog.Float("epsilon", out.Epsilon),
+		evlog.Aggregate("total_payment", out.TotalPayment))
+}

@@ -1,0 +1,31 @@
+package shard
+
+import "hash/fnv"
+
+// PartitionFor maps a worker ID onto one of n partitions: the ID is
+// digested with FNV-64a and the digest placed by Lamping–Veach jump
+// consistent hashing. The assignment is uniform across partitions and
+// consistent under resizing — growing from n to n+1 partitions moves
+// only ~1/(n+1) of the worker population, so a scaled-out platform
+// re-shards the minimum number of workers. n < 1 is treated as 1.
+func PartitionFor(workerID string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(workerID))
+	return int(jumpHash(h.Sum64(), int32(n)))
+}
+
+// jumpHash is the Lamping–Veach jump consistent hash: O(ln n), no
+// memory, and the minimal-disruption property PartitionFor documents.
+func jumpHash(key uint64, buckets int32) int32 {
+	var b int64 = -1
+	var j int64
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int32(b)
+}

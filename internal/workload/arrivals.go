@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ArrivalCurve names a synthetic worker arrival shape over a bid
+// window. The load generator uses these to schedule when each of its
+// fleet's workers dials in.
+type ArrivalCurve string
+
+// Supported arrival curves.
+const (
+	// ArrivalUniform spreads arrivals evenly across the window.
+	ArrivalUniform ArrivalCurve = "uniform"
+	// ArrivalBurst packs all arrivals into the first 10% of the
+	// window — the reconnect-storm / thundering-herd shape.
+	ArrivalBurst ArrivalCurve = "burst"
+	// ArrivalRamp densifies arrivals linearly toward the window's end
+	// (deadline-chasing workers).
+	ArrivalRamp ArrivalCurve = "ramp"
+	// ArrivalPoisson models memoryless arrivals: exponential gaps
+	// renormalized to fit the window.
+	ArrivalPoisson ArrivalCurve = "poisson"
+)
+
+// Arrivals draws n worker arrival offsets within a bid window of the
+// given length, shaped by curve and sorted ascending. Offsets are in
+// [0, window); the draw is deterministic in r.
+func Arrivals(r *rand.Rand, n int, window time.Duration, curve ArrivalCurve) ([]time.Duration, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParams, n)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: window=%v", ErrBadParams, window)
+	}
+	w := float64(window)
+	offs := make([]float64, n)
+	switch curve {
+	case ArrivalUniform, "":
+		for i := range offs {
+			offs[i] = r.Float64() * w
+		}
+	case ArrivalBurst:
+		for i := range offs {
+			offs[i] = r.Float64() * w * 0.1
+		}
+	case ArrivalRamp:
+		// Density f(t) ∝ t on [0,1]: invert the CDF t² with a square
+		// root, so draws crowd toward the end of the window.
+		for i := range offs {
+			offs[i] = math.Sqrt(r.Float64()) * w
+		}
+	case ArrivalPoisson:
+		// Exponential inter-arrival gaps, renormalized so the last
+		// arrival lands inside the window.
+		total := 0.0
+		gaps := make([]float64, n)
+		for i := range gaps {
+			gaps[i] = r.ExpFloat64()
+			total += gaps[i]
+		}
+		at := 0.0
+		for i, g := range gaps {
+			at += g
+			if total > 0 {
+				offs[i] = at / total * w * float64(n) / float64(n+1)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: arrival curve %q", ErrBadParams, curve)
+	}
+	out := make([]time.Duration, n)
+	for i, o := range offs {
+		if o >= w {
+			o = w - 1
+		}
+		out[i] = time.Duration(o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

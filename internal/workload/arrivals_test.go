@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestArrivalsShapes(t *testing.T) {
+	const n = 2000
+	window := 10 * time.Second
+	for _, curve := range []ArrivalCurve{ArrivalUniform, ArrivalBurst, ArrivalRamp, ArrivalPoisson, ""} {
+		offs, err := Arrivals(rand.New(rand.NewSource(1)), n, window, curve)
+		if err != nil {
+			t.Fatalf("%q: %v", curve, err)
+		}
+		if len(offs) != n {
+			t.Fatalf("%q: got %d offsets, want %d", curve, len(offs), n)
+		}
+		for i, o := range offs {
+			if o < 0 || o >= window {
+				t.Fatalf("%q: offset %d = %v outside [0, %v)", curve, i, o, window)
+			}
+			if i > 0 && o < offs[i-1] {
+				t.Fatalf("%q: offsets not sorted at %d", curve, i)
+			}
+		}
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	window := 5 * time.Second
+	for _, curve := range []ArrivalCurve{ArrivalUniform, ArrivalBurst, ArrivalRamp, ArrivalPoisson} {
+		a, err := Arrivals(rand.New(rand.NewSource(7)), 500, window, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Arrivals(rand.New(rand.NewSource(7)), 500, window, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q: same seed diverged at %d: %v vs %v", curve, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestArrivalsBurstConcentration: the burst curve packs the whole fleet
+// into the first 10% of the window; the ramp curve's median lands past
+// the midpoint (density grows toward the deadline).
+func TestArrivalsBurstConcentration(t *testing.T) {
+	window := 10 * time.Second
+	burst, err := Arrivals(rand.New(rand.NewSource(3)), 1000, window, ArrivalBurst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := burst[len(burst)-1]; last > window/10 {
+		t.Fatalf("burst arrival at %v, want all within the first %v", last, window/10)
+	}
+	ramp, err := Arrivals(rand.New(rand.NewSource(3)), 1001, window, ArrivalRamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med := ramp[len(ramp)/2]; med <= window/2 {
+		t.Fatalf("ramp median %v not past the window midpoint", med)
+	}
+}
+
+func TestArrivalsBadParams(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := Arrivals(r, -1, time.Second, ArrivalUniform); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("n=-1: %v, want ErrBadParams", err)
+	}
+	if _, err := Arrivals(r, 1, 0, ArrivalUniform); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("window=0: %v, want ErrBadParams", err)
+	}
+	if _, err := Arrivals(r, 1, time.Second, ArrivalCurve("sawtooth")); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("unknown curve: %v, want ErrBadParams", err)
+	}
+	offs, err := Arrivals(r, 0, time.Second, ArrivalPoisson)
+	if err != nil || len(offs) != 0 {
+		t.Fatalf("n=0: offs=%v err=%v, want empty success", offs, err)
+	}
+}
