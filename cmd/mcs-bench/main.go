@@ -13,11 +13,15 @@
 //	mcs-bench -suite experiment -events-out run.jsonl -manifest-out run.json
 //
 // With -baseline the fresh run is compared against the committed file
-// and the exit status is 1 when any gated benchmark — the auction hot
-// path (core suite) or the cover/gain construction (experiment suite)
-// — regresses by more than 25% in ns/op (the `make bench-diff` /
+// and the exit status is 1 when any gated benchmark — the auction
+// build/rebuild hot path (core suite) or the cover/gain construction
+// and the Figure 4 sweeps (experiment suite) — regresses by more than
+// 25% in ns/op or allocs/op (the `make bench-diff` /
 // `make bench-diff-core` gates; other benchmarks are reported but do
-// not gate).
+// not gate). Two absolute gates ride along: AuctionNew must stay at or
+// under 300 allocs/op, and the parallel Figure 4 sweep must beat the
+// sequential one by at least 2x on 4+ cores (4x on 8+); the speedup
+// gate is skipped — with a note — on machines too small to show it.
 //
 // With -events-out / -manifest-out the run additionally performs an
 // audited epsilon sweep — one metered auction whose build, reweight and
@@ -63,19 +67,33 @@ type namedBench struct {
 	fn   func(b *testing.B)
 }
 
-// regressionThreshold is the relative ns/op growth over the committed
-// baseline at which a gated (auction/cover/gain) benchmark fails
-// `-baseline`.
+// regressionThreshold is the relative ns/op (or allocs/op) growth over
+// the committed baseline at which a gated benchmark fails `-baseline`.
 const regressionThreshold = 0.25
 
+// allocGateFloor exempts tiny alloc baselines from the relative
+// allocs/op gate: below ~64 allocs/op a one-allocation jitter already
+// exceeds 25%, so only the absolute AuctionNew ceiling applies there.
+const allocGateFloor = 64
+
+// auctionNewAllocCeiling is the absolute allocs/op budget for the
+// scratch-arena build path; the pre-arena baseline sat at 2813.
+const auctionNewAllocCeiling = 300
+
 // gated reports whether a benchmark participates in the bench-diff
-// regression gate: the auction build/run path (which every sharded
-// partition now executes per round) and the winner-set cover
+// regression gate: the auction build/rebuild/run path (which every
+// sharded partition now executes per round), the winner-set cover
 // construction and marginal-gain hot paths the CSR layout exists to
-// keep fast.
+// keep fast, and the Figure 4 payment sweeps whose wall clock the
+// single-parallelism-budget pool protects.
 func gated(name string) bool {
 	low := strings.ToLower(name)
-	return strings.Contains(low, "auction") || strings.Contains(low, "cover") || strings.Contains(low, "gain")
+	for _, key := range []string{"auction", "cover", "gain", "sweep", "rebuild", "reweight"} {
+		if strings.Contains(low, key) {
+			return true
+		}
+	}
+	return false
 }
 
 func main() {
@@ -91,7 +109,7 @@ func run(args []string) error {
 		out         = fs.String("out", "", "also write the JSON results to this file")
 		workers     = fs.Int("workers", 100, "workers in the benchmark instance (Table I Setting I)")
 		suite       = fs.String("suite", "core", "benchmark suite to run: core or experiment")
-		baseline    = fs.String("baseline", "", "committed BENCH_*.json to diff against; exit 1 on >25% cover/gain regression")
+		baseline    = fs.String("baseline", "", "committed BENCH_*.json to diff against; exit 1 on >25% hot-path regression (ns/op or allocs/op) or a failed absolute gate")
 		eventsOut   = fs.String("events-out", "", "write the audited sweep's structured event stream (JSONL) to this file")
 		manifestOut = fs.String("manifest-out", "", "write the run-provenance manifest (JSON) to this file")
 	)
@@ -244,7 +262,9 @@ func auditedSweep(fs *flag.FlagSet, workers int, benchOut, eventsOut, manifestOu
 }
 
 // diffAgainstBaseline compares the fresh run against the committed file
-// and errors when a gated benchmark regressed past the threshold.
+// and errors when a gated benchmark regressed past the threshold in
+// ns/op or allocs/op, or when an absolute gate (AuctionNew alloc
+// ceiling, Figure 4 parallel speedup) fails.
 func diffAgainstBaseline(path string, fresh benchFile) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -270,18 +290,73 @@ func diffAgainstBaseline(path string, fresh benchFile) error {
 		if gated(b.Name) {
 			gate = "*"
 		}
-		fmt.Fprintf(os.Stderr, "diff %s %-26s %12d -> %12d ns/op (%+.1f%%)\n",
-			gate, b.Name, prev.NsPerOp, b.NsPerOp, 100*rel)
-		if gated(b.Name) && rel > regressionThreshold {
+		fmt.Fprintf(os.Stderr, "diff %s %-26s %12d -> %12d ns/op (%+.1f%%) %6d -> %6d allocs/op\n",
+			gate, b.Name, prev.NsPerOp, b.NsPerOp, 100*rel, prev.AllocsPerOp, b.AllocsPerOp)
+		if !gated(b.Name) {
+			continue
+		}
+		if rel > regressionThreshold {
 			regressions = append(regressions,
 				fmt.Sprintf("%s regressed %.1f%% (%d -> %d ns/op)", b.Name, 100*rel, prev.NsPerOp, b.NsPerOp))
 		}
+		// Alloc gate: relative, but only above the jitter floor — a
+		// benchmark already near zero allocations is guarded by the
+		// absolute AuctionNew ceiling instead.
+		if prev.AllocsPerOp >= allocGateFloor {
+			arel := float64(b.AllocsPerOp-prev.AllocsPerOp) / float64(prev.AllocsPerOp)
+			if arel > regressionThreshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s alloc regression %.1f%% (%d -> %d allocs/op)",
+						b.Name, 100*arel, prev.AllocsPerOp, b.AllocsPerOp))
+			}
+		}
 	}
+	regressions = append(regressions, absoluteGates(fresh)...)
 	if len(regressions) > 0 {
-		return fmt.Errorf("bench-diff gate (>%.0f%% on auction/cover/gain): %s",
+		return fmt.Errorf("bench-diff gate (>%.0f%% on auction/cover/gain/sweep/rebuild, plus absolute gates): %s",
 			100*regressionThreshold, strings.Join(regressions, "; "))
 	}
 	return nil
+}
+
+// absoluteGates checks the run against fixed budgets rather than the
+// committed baseline: the AuctionNew allocation ceiling (core suite)
+// and the sequential-vs-parallel Figure 4 speedup (experiment suite).
+// The speedup gate scales with the machine — 4x on 8+ cores, 2x on
+// 4+ — and is skipped with a note below 4, where the pool cannot win.
+func absoluteGates(fresh benchFile) []string {
+	byName := make(map[string]benchResult, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		byName[b.Name] = b
+	}
+	var failures []string
+	if b, ok := byName["AuctionNew"]; ok && b.AllocsPerOp > auctionNewAllocCeiling {
+		failures = append(failures, fmt.Sprintf(
+			"AuctionNew allocation ceiling: %d allocs/op > %d", b.AllocsPerOp, auctionNewAllocCeiling))
+	}
+	seq, okSeq := byName["SweepFigure4Sequential"]
+	par, okPar := byName["SweepFigure4Parallel"]
+	if okSeq && okPar && seq.NsPerOp > 0 && par.NsPerOp > 0 {
+		var want float64
+		switch procs := runtime.GOMAXPROCS(0); {
+		case procs >= 8:
+			want = 4.0
+		case procs >= 4:
+			want = 2.0
+		default:
+			fmt.Fprintf(os.Stderr, "gate SweepFigure4 speedup skipped: GOMAXPROCS=%d < 4\n", procs)
+			return failures
+		}
+		got := float64(seq.NsPerOp) / float64(par.NsPerOp)
+		fmt.Fprintf(os.Stderr, "gate SweepFigure4 speedup %.2fx (need >= %.1fx at GOMAXPROCS=%d)\n",
+			got, want, runtime.GOMAXPROCS(0))
+		if got < want {
+			failures = append(failures, fmt.Sprintf(
+				"SweepFigure4 parallel speedup %.2fx < %.1fx (seq %d ns/op, par %d ns/op, GOMAXPROCS=%d)",
+				got, want, seq.NsPerOp, par.NsPerOp, runtime.GOMAXPROCS(0)))
+		}
+	}
+	return failures
 }
 
 // coreBenches is the original suite: auction construction and sampling
@@ -316,6 +391,18 @@ func coreBenches(workers int) ([]namedBench, error) {
 			reg := dphsrc.NewTelemetryRegistry()
 			for i := 0; i < b.N; i++ {
 				if _, err := dphsrc.New(inst, dphsrc.WithTelemetry(reg)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"AuctionRebuild", func(b *testing.B) {
+			a, err := dphsrc.New(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Rebuild(inst); err != nil {
 					b.Fatal(err)
 				}
 			}

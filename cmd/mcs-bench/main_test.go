@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"github.com/dphsrc/dphsrc"
@@ -12,6 +13,57 @@ import (
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestGatedCoversHotPaths pins the bench-diff gate's coverage: every
+// hot-path benchmark participates, the telemetry overhead pairs do not.
+func TestGatedCoversHotPaths(t *testing.T) {
+	for _, name := range []string{
+		"AuctionNew", "AuctionRebuild", "AuctionRun",
+		"CoverGreedyLazy", "CoverGreedyNaive",
+		"ReweightEpsilon", "RebuildEpsilon",
+		"SweepFigure4Sequential", "SweepFigure4Parallel",
+	} {
+		if !gated(name) {
+			t.Errorf("gated(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"TelemetryCounterIncNop", "EvlogEventLive"} {
+		if gated(name) {
+			t.Errorf("gated(%q) = true, want false", name)
+		}
+	}
+}
+
+// TestAbsoluteGates exercises the fixed-budget gates against synthetic
+// results: the AuctionNew allocation ceiling always applies; the sweep
+// speedup gate only fires on machines with at least 4 cores.
+func TestAbsoluteGates(t *testing.T) {
+	ok := benchFile{Benchmarks: []benchResult{
+		{Name: "AuctionNew", NsPerOp: 1000, AllocsPerOp: auctionNewAllocCeiling},
+	}}
+	if failures := absoluteGates(ok); len(failures) != 0 {
+		t.Errorf("at-ceiling run failed gates: %v", failures)
+	}
+	over := benchFile{Benchmarks: []benchResult{
+		{Name: "AuctionNew", NsPerOp: 1000, AllocsPerOp: auctionNewAllocCeiling + 1},
+	}}
+	if failures := absoluteGates(over); len(failures) != 1 {
+		t.Errorf("over-ceiling run produced %v, want one failure", failures)
+	}
+
+	slow := benchFile{Benchmarks: []benchResult{
+		{Name: "SweepFigure4Sequential", NsPerOp: 1000},
+		{Name: "SweepFigure4Parallel", NsPerOp: 999},
+	}}
+	failures := absoluteGates(slow)
+	if procs := runtime.GOMAXPROCS(0); procs >= 4 {
+		if len(failures) != 1 {
+			t.Errorf("1.0x speedup on %d cores produced %v, want one failure", procs, failures)
+		}
+	} else if len(failures) != 0 {
+		t.Errorf("speedup gate fired on %d cores: %v (want skipped)", procs, failures)
 	}
 }
 

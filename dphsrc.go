@@ -60,7 +60,10 @@ type (
 	// Worker is one participant's bid: her bundle and asked price.
 	Worker = core.Worker
 	// Auction is a fully precomputed DP-hSRC auction; safe for
-	// concurrent use.
+	// concurrent reads (Run, Support, PMF, Reweight). Rebuild
+	// reconstructs it in place for a new instance — bitwise-identical
+	// to a fresh New, reusing the build's scratch memory — and must
+	// not race with any other method.
 	Auction = core.Auction
 	// Outcome is one sampled auction result.
 	Outcome = core.Outcome

@@ -81,7 +81,11 @@ func WithPriceSet(p []float64) Option {
 // counts on up to n goroutines. The winner set for each count is a pure
 // function of the instance, so results are identical to the sequential
 // default; only construction wall-clock changes. Values below 2 keep
-// the sequential path.
+// the sequential path. Callers that already fan instances across a
+// worker pool (the experiment sweep engine) should keep inner builds
+// sequential: the pool owns the parallelism budget, and nesting the two
+// oversubscribes the scheduler (see DESIGN.md "Hot path & scratch
+// memory").
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
@@ -125,7 +129,9 @@ type PriceInfo struct {
 // Auction is a fully precomputed DP-hSRC auction over one instance: the
 // winner set and total payment for every support price, and the
 // exponential mechanism over prices. Construct with New; an Auction is
-// immutable afterwards and safe for concurrent use.
+// immutable between builds and safe for concurrent use. Rebuild
+// replaces the instance in place for round loops that would otherwise
+// pay New's buffer allocations every round.
 type Auction struct {
 	inst   Instance
 	rule   SelectionRule
@@ -139,9 +145,90 @@ type Auction struct {
 	// Reweight-derived auctions so epsilon sweeps keep their audit
 	// trail.
 	ev *evlog.Logger
-	// gainEvals counts marginal-gain evaluations performed during
-	// construction; exposed for the lazy-vs-naive ablation.
+	// gainEvals counts marginal-gain evaluations performed during the
+	// latest build; exposed for the lazy-vs-naive ablation.
 	gainEvals int
+	// cfg preserves the construction options so Rebuild reconstructs
+	// under exactly the rule, support and parallelism New was given.
+	cfg config
+	// bs owns every reusable build buffer. It is nil on Reweight-derived
+	// auctions, whose prices alias the base auction's buffers; Rebuild
+	// detects that and switches to fresh buffers so it can never clobber
+	// the base.
+	bs *buildState
+}
+
+// buildState is the reusable scratch memory behind build: the CSR cover
+// problem, the bid-sorted index and bid arrays, the price-to-count
+// tables, the per-count winner cache, the payment vector and the
+// per-goroutine cover scratches, plus the flattened backing arrays for
+// the auction's private instance copy. One buildState serves one
+// auction; nothing here is shared across auctions.
+type buildState struct {
+	cp        coverProblem
+	sorted    []int
+	bids      []float64
+	countOf   []int
+	seenCount []bool
+	distinct  []int
+	// cache is indexed by candidate count (0..N); only entries for the
+	// current build's distinct counts are written and read.
+	cache     []coverResult
+	payments  []float64
+	scratches []*coverScratch
+	// bundleFlat/skillFlat back the instance copy's per-worker bundle
+	// and skill-row slices in two contiguous arrays, replacing the
+	// two-allocations-per-worker deep clone.
+	bundleFlat []int
+	skillFlat  []float64
+}
+
+// scratch returns the cover scratch owned by pool worker w, creating it
+// on first use. Callers hand index 0 to the sequential path.
+func (bs *buildState) scratch(w int) *coverScratch {
+	for len(bs.scratches) <= w {
+		bs.scratches = append(bs.scratches, &coverScratch{})
+	}
+	return bs.scratches[w]
+}
+
+// cloneInto deep-copies src into dst reusing dst's and bs's backing
+// arrays. src must already be validated; src must not alias dst's
+// current backing (Instance() clones, so instances obtained from the
+// auction itself are safe to pass back in).
+func cloneInto(dst *Instance, src *Instance, bs *buildState) {
+	dst.NumTasks = src.NumTasks
+	dst.Epsilon = src.Epsilon
+	dst.CMin = src.CMin
+	dst.CMax = src.CMax
+	dst.Thresholds = append(dst.Thresholds[:0], src.Thresholds...)
+	dst.PriceGrid = append(dst.PriceGrid[:0], src.PriceGrid...)
+	nb, ns := 0, 0
+	for i := range src.Workers {
+		nb += len(src.Workers[i].Bundle)
+	}
+	for i := range src.Skills {
+		ns += len(src.Skills[i])
+	}
+	if cap(bs.bundleFlat) < nb {
+		bs.bundleFlat = make([]int, 0, nb)
+	}
+	if cap(bs.skillFlat) < ns {
+		bs.skillFlat = make([]float64, 0, ns)
+	}
+	fb, fs := bs.bundleFlat[:0], bs.skillFlat[:0]
+	dst.Workers = dst.Workers[:0]
+	dst.Skills = dst.Skills[:0]
+	for i := range src.Workers {
+		w := &src.Workers[i]
+		lo := len(fb)
+		fb = append(fb, w.Bundle...)
+		dst.Workers = append(dst.Workers, Worker{ID: w.ID, Bundle: fb[lo:len(fb):len(fb)], Bid: w.Bid})
+		lo = len(fs)
+		fs = append(fs, src.Skills[i]...)
+		dst.Skills = append(dst.Skills, fs[lo:len(fs):len(fs)])
+	}
+	bs.bundleFlat, bs.skillFlat = fb, fs
 }
 
 // Outcome is the sampled result of one run of the auction.
@@ -180,29 +267,86 @@ func (o Outcome) Payments(numWorkers int) ([]float64, error) {
 // prices. It returns ErrInfeasible if no price in the instance grid is
 // feasible and no explicit price set was provided.
 func New(inst Instance, opts ...Option) (*Auction, error) {
-	if err := inst.Validate(); err != nil {
-		return nil, err
-	}
 	cfg := config{rule: RuleGreedy}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	reg := cfg.telemetry
-	buildStart := reg.Now()
-	a := &Auction{inst: inst.Clone(), rule: cfg.rule, reg: reg, ev: cfg.events}
+	a := &Auction{rule: cfg.rule, reg: cfg.telemetry, ev: cfg.events, cfg: cfg, bs: &buildState{}}
+	if err := a.build(&inst); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
 
-	cp := newCoverProblem(&a.inst)
-	sorted := sortedByBid(a.inst.Workers)
-	bids := make([]float64, len(sorted))
-	for k, i := range sorted {
-		bids[k] = a.inst.Workers[i].Bid
+// Rebuild reconstructs the auction in place over a new instance,
+// reusing every build buffer — the CSR cover problem, the price/count
+// tables, the winner-set arena, the prices and payment vectors — so
+// round loops (internal/protocol, internal/shard) pay New's allocations
+// once per partition instead of once per round. The construction
+// options New was given (rule, explicit price set, parallelism,
+// telemetry, event log) carry over, which in particular keeps a
+// WithPriceSet support fixed across rounds exactly as the DP guarantee
+// requires. The result is bitwise-identical to New(inst, sameOptions...).
+//
+// Rebuild invalidates everything obtained from the previous build:
+// Support/SupportPrices/PMF slices, and any auction derived from the
+// receiver via Reweight (their winner sets alias the rebuilt buffers).
+// Outcomes from Run are copies and stay valid. Rebuilding a
+// Reweight-derived auction is safe for the base: the derived auction
+// detaches onto fresh buffers first. On error the auction is left
+// unusable (its mechanism is cleared) until a subsequent Rebuild
+// succeeds. An Auction is safe for concurrent readers only between
+// builds; the caller must not Rebuild concurrently with any other use.
+func (a *Auction) Rebuild(inst Instance) error {
+	if a.bs == nil {
+		// Reweight-derived: prices alias the base auction's arena, so
+		// detach onto fresh buffers rather than clobbering the base.
+		a.bs = &buildState{}
+		a.prices = nil
+	}
+	if err := a.build(&inst); err != nil {
+		return err
+	}
+	a.reg.Counter("mcs_core_rebuilds_total",
+		"In-place auction reconstructions that reuse build buffers across rounds.").Inc()
+	return nil
+}
+
+// build runs the full construction into the auction's reusable build
+// state. On error the auction is left unusable (mech == nil).
+func (a *Auction) build(src *Instance) error {
+	if err := src.Validate(); err != nil {
+		return err
+	}
+	reg := a.reg
+	buildStart := reg.Now()
+	a.mech = nil
+	bs := a.bs
+	cloneInto(&a.inst, src, bs)
+	bs.cp.reset(&a.inst)
+	for _, s := range bs.scratches {
+		s.arena.reset()
+	}
+	n := len(a.inst.Workers)
+
+	// Worker indices ascending by bid with index tie-break (Algorithm 1
+	// line 1); the total-order comparator makes the unstable sort
+	// reproduce the previous stable sort exactly.
+	bs.sorted = bs.sorted[:0]
+	for i := 0; i < n; i++ {
+		bs.sorted = append(bs.sorted, i)
+	}
+	sort.Sort(&bidOrder{idx: bs.sorted, workers: a.inst.Workers})
+	bs.bids = bs.bids[:0]
+	for _, i := range bs.sorted {
+		bs.bids = append(bs.bids, a.inst.Workers[i].Bid)
 	}
 
 	support := a.inst.PriceGrid
-	if cfg.hasPriceSet {
-		support = cfg.priceSet
+	if a.cfg.hasPriceSet {
+		support = a.cfg.priceSet
 		if err := validateSupport(support); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -212,21 +356,36 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	// lines 14-15 that removes the dependency on |P|. Distinct counts
 	// are independent pure computations, so WithParallelism fans them
 	// out across goroutines.
-	countOf := make([]int, len(support))
-	var distinct []int
-	seen := make(map[int]bool)
-	for pi, x := range support {
-		count := sort.SearchFloat64s(bids, x+priceEps)
-		countOf[pi] = count
-		if !seen[count] {
-			seen[count] = true
-			distinct = append(distinct, count)
+	if cap(bs.seenCount) < n+1 {
+		bs.seenCount = make([]bool, n+1)
+	} else {
+		bs.seenCount = bs.seenCount[:n+1]
+		for i := range bs.seenCount {
+			bs.seenCount[i] = false
 		}
 	}
-	cache := a.coverByCount(cp, sorted, distinct, cfg.parallelism, reg)
+	bs.countOf = bs.countOf[:0]
+	bs.distinct = bs.distinct[:0]
+	for _, x := range support {
+		count := sort.SearchFloat64s(bs.bids, x+priceEps)
+		bs.countOf = append(bs.countOf, count)
+		if !bs.seenCount[count] {
+			bs.seenCount[count] = true
+			bs.distinct = append(bs.distinct, count)
+		}
+	}
+	if cap(bs.cache) < n+1 {
+		bs.cache = make([]coverResult, n+1)
+	} else {
+		bs.cache = bs.cache[:n+1]
+	}
+	a.coverByCount()
 
-	n := len(a.inst.Workers)
-	a.prices = make([]PriceInfo, 0, len(support))
+	if cap(a.prices) < len(support) {
+		a.prices = make([]PriceInfo, 0, len(support))
+	} else {
+		a.prices = a.prices[:0]
+	}
 	anyFeasible := false
 	// Infeasible support prices carry the penalty payment pMax*N, the
 	// worst payment any feasible price can reach over the support. With
@@ -242,7 +401,7 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	// normalizer in PaymentLogWeights still covers the penalty.
 	pMax := support[len(support)-1]
 	for pi, x := range support {
-		c := cache[countOf[pi]]
+		c := bs.cache[bs.countOf[pi]]
 		info := PriceInfo{Price: x, Winners: c.winners, Feasible: c.feasible}
 		if c.feasible {
 			info.Payment = x * float64(len(c.winners))
@@ -253,30 +412,35 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 		a.prices = append(a.prices, info)
 	}
 
-	if !cfg.hasPriceSet {
+	if !a.cfg.hasPriceSet {
 		// Default support: the feasible subset of the grid, exactly the
-		// paper's price set P.
-		feasibleOnly := a.prices[:0:0]
+		// paper's price set P. Filtered in place; the write index never
+		// passes the read index.
+		kept := a.prices[:0]
 		for _, info := range a.prices {
 			if info.Feasible {
-				feasibleOnly = append(feasibleOnly, info)
+				kept = append(kept, info)
 			}
 		}
-		a.prices = feasibleOnly
+		a.prices = kept
 	}
-	if len(a.prices) == 0 || (!anyFeasible && !cfg.hasPriceSet) {
-		return nil, ErrInfeasible
+	if len(a.prices) == 0 || (!anyFeasible && !a.cfg.hasPriceSet) {
+		return ErrInfeasible
 	}
 
-	logW := mechanism.PaymentLogWeights(a.paymentVector(), a.inst.Epsilon, n, a.inst.CMax)
+	bs.payments = bs.payments[:0]
+	for _, info := range a.prices {
+		bs.payments = append(bs.payments, info.Payment)
+	}
+	logW := mechanism.PaymentLogWeights(bs.payments, a.inst.Epsilon, n, a.inst.CMax)
 	mech, err := mechanism.NewExponential(logW)
 	if err != nil {
-		return nil, fmt.Errorf("core: building exponential mechanism: %w", err)
+		return fmt.Errorf("core: building exponential mechanism: %w", err)
 	}
 	a.mech = mech
 	a.mech.Instrument(reg)
 	a.mech.InstrumentEvents(a.ev)
-	a.gainEvals = int(cp.evals.Load())
+	a.gainEvals = int(bs.cp.evals.Load())
 
 	a.ev.Info("core.build",
 		evlog.Int("workers", n),
@@ -296,7 +460,7 @@ func New(inst Instance, opts ...Option) (*Auction, error) {
 	reg.Histogram("mcs_core_build_seconds",
 		"Full auction construction time (winner sets plus mechanism).", telemetry.TimeBuckets).
 		Observe(reg.Since(buildStart))
-	return a, nil
+	return nil
 }
 
 // priceEps is the tolerance used when comparing bids to grid prices, so
@@ -312,7 +476,10 @@ const priceEps = 1e-9
 // evaluations are performed here and GainEvaluations is inherited
 // unchanged. The receiver is untouched and both auctions remain safe
 // for concurrent use; reweights count into mcs_core_reweights_total on
-// the registry the receiver was constructed with.
+// the registry the receiver was constructed with. The derived auction's
+// winner sets alias the receiver's, so a later Rebuild of the receiver
+// invalidates the derived auction (a Rebuild of the derived auction
+// detaches it first and is safe).
 func (a *Auction) Reweight(eps float64) (*Auction, error) {
 	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("%w: eps=%v", ErrBadEpsilon, eps)
@@ -321,7 +488,7 @@ func (a *Auction) Reweight(eps float64) (*Auction, error) {
 	// construction, and Instance() clones before handing them out.
 	inst := a.inst
 	inst.Epsilon = eps
-	nw := &Auction{inst: inst, rule: a.rule, prices: a.prices, reg: a.reg, ev: a.ev, gainEvals: a.gainEvals}
+	nw := &Auction{inst: inst, rule: a.rule, prices: a.prices, reg: a.reg, ev: a.ev, gainEvals: a.gainEvals, cfg: a.cfg}
 	logW := mechanism.PaymentLogWeights(nw.paymentVector(), eps, len(inst.Workers), inst.CMax)
 	mech, err := mechanism.NewExponential(logW)
 	if err != nil {
@@ -348,81 +515,96 @@ type coverResult struct {
 }
 
 // coverByCount computes the winner set for every distinct candidate
-// count, optionally in parallel. Per-count evaluation time lands in
-// mcs_core_cover_seconds; the histogram is atomic, so the parallel
-// path observes safely from every worker goroutine.
-func (a *Auction) coverByCount(cp *coverProblem, sorted []int, distinct []int, parallelism int, reg *telemetry.Registry) map[int]coverResult {
+// count into bs.cache, optionally in parallel. Each goroutine owns one
+// coverScratch, so the hot cover routines run allocation-free; retained
+// winner slices are saved into the computing goroutine's arena.
+// Per-count evaluation time lands in mcs_core_cover_seconds; the
+// histogram is atomic, so the parallel path observes safely from every
+// worker goroutine.
+func (a *Auction) coverByCount() {
+	bs := a.bs
+	cp := &bs.cp
+	reg := a.reg
 	coverSeconds := reg.Histogram("mcs_core_cover_seconds",
 		"Winner-set computation time per distinct candidate count.", telemetry.TimeBuckets)
-	results := make([]coverResult, len(distinct))
-	compute := func(k int) {
+	compute := func(k int, s *coverScratch) {
 		start := reg.Now()
-		cands := sorted[:distinct[k]]
-		if cp.feasible(cands) {
-			winners, feas := a.cover(cp, cands)
-			results[k] = coverResult{winners: winners, feasible: feas}
+		count := bs.distinct[k]
+		cands := bs.sorted[:count]
+		res := coverResult{}
+		if cp.feasible(s, cands) {
+			sel, feas := a.cover(cp, s, cands)
+			res = coverResult{winners: s.arena.save(sel), feasible: feas}
 		}
+		bs.cache[count] = res
 		coverSeconds.Observe(reg.Since(start))
 		// Candidate counts and winner-set sizes are population-level;
 		// under WithParallelism the emission order is scheduling-
 		// dependent, which is fine for an observability stream.
 		a.ev.Debug("core.cover",
-			evlog.Int("candidates", distinct[k]),
-			evlog.Int("winners", len(results[k].winners)),
-			evlog.Bool("feasible", results[k].feasible))
+			evlog.Int("candidates", count),
+			evlog.Int("winners", len(res.winners)),
+			evlog.Bool("feasible", res.feasible))
 	}
-	if parallelism < 2 || len(distinct) < 2 {
-		for k := range distinct {
-			compute(k)
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < parallelism; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for k := range work {
-					compute(k)
-				}
-			}()
-		}
-		for k := range distinct {
-			work <- k
-		}
-		close(work)
-		wg.Wait()
+	parallelism := a.cfg.parallelism
+	if parallelism > len(bs.distinct) {
+		parallelism = len(bs.distinct)
 	}
-	out := make(map[int]coverResult, len(distinct))
-	for k, count := range distinct {
-		out[count] = results[k]
+	if parallelism < 2 || len(bs.distinct) < 2 {
+		s := bs.scratch(0)
+		for k := range bs.distinct {
+			compute(k, s)
+		}
+		return
 	}
-	return out
+	var wg sync.WaitGroup
+	work := make(chan int, len(bs.distinct))
+	for k := range bs.distinct {
+		work <- k
+	}
+	close(work)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(s *coverScratch) {
+			defer wg.Done()
+			for k := range work {
+				compute(k, s)
+			}
+		}(bs.scratch(w))
+	}
+	wg.Wait()
 }
 
-// cover dispatches to the configured selection rule.
-func (a *Auction) cover(cp *coverProblem, cands []int) ([]int, bool) {
+// cover dispatches to the configured selection rule. The returned slice
+// aliases s and must be persisted via s.arena before s is reused.
+func (a *Auction) cover(cp *coverProblem, s *coverScratch, cands []int) ([]int, bool) {
 	switch a.rule {
 	case RuleGreedyNaive:
-		return cp.greedyCoverNaive(cands)
+		return cp.greedyCoverNaive(s, cands)
 	case RuleStatic:
-		return cp.staticCover(cands)
+		return cp.staticCover(s, cands)
 	default:
-		return cp.greedyCover(cands)
+		return cp.greedyCover(s, cands)
 	}
 }
 
-// sortedByBid returns worker indices sorted ascending by bid, breaking
-// ties by index for determinism (Algorithm 1 line 1).
-func sortedByBid(workers []Worker) []int {
-	idx := make([]int, len(workers))
-	for i := range idx {
-		idx[i] = i
+// bidOrder sorts worker indices ascending by bid, breaking ties by
+// index for determinism (Algorithm 1 line 1). The comparator is a
+// strict total order, so the unstable sort.Sort reproduces the previous
+// stable sort exactly without its closure and reflection allocations.
+type bidOrder struct {
+	idx     []int
+	workers []Worker
+}
+
+func (s *bidOrder) Len() int      { return len(s.idx) }
+func (s *bidOrder) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *bidOrder) Less(a, b int) bool {
+	//mcslint:allow MCS-FLT001 comparator tie-break: exact inequality keeps the order a strict weak ordering and falls through to index
+	if ba, bb := s.workers[s.idx[a]].Bid, s.workers[s.idx[b]].Bid; ba != bb {
+		return ba < bb
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return workers[idx[a]].Bid < workers[idx[b]].Bid
-	})
-	return idx
+	return s.idx[a] < s.idx[b]
 }
 
 func validateSupport(p []float64) error {
@@ -460,7 +642,7 @@ func (a *Auction) outcomeAt(idx int) Outcome {
 
 // Support returns the mechanism's price support P with per-price winner
 // sets and payments. The returned slice is shared; callers must not
-// mutate it.
+// mutate it, and it is only valid until the next Rebuild.
 func (a *Auction) Support() []PriceInfo { return a.prices }
 
 // PMF returns the exact output distribution over the support prices.
@@ -536,7 +718,7 @@ func (a *Auction) Instance() Instance { return a.inst.Clone() }
 func (a *Auction) Rule() SelectionRule { return a.rule }
 
 // GainEvaluations returns the number of marginal-gain evaluations
-// accounted during construction (ablation instrumentation; zero for
+// accounted during the latest build (ablation instrumentation; zero for
 // rules that do not track it).
 func (a *Auction) GainEvaluations() int { return a.gainEvals }
 

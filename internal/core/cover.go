@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"sort"
 	"sync/atomic"
 )
@@ -33,35 +32,86 @@ type coverProblem struct {
 	evals atomic.Int64
 }
 
-// newCoverProblem precomputes the cover view from a validated instance.
-func newCoverProblem(inst *Instance) *coverProblem {
-	n := len(inst.Workers)
-	nnz := 0
-	for _, w := range inst.Workers {
-		nnz += len(w.Bundle)
+// reset recomputes the cover view from a validated instance, reusing
+// the problem's backing arrays. A zero coverProblem is valid input, so
+// first builds and rebuilds share one code path.
+func (cp *coverProblem) reset(inst *Instance) {
+	cp.numTasks = inst.NumTasks
+	cp.demands = cp.demands[:0]
+	for j := 0; j < inst.NumTasks; j++ {
+		cp.demands = append(cp.demands, inst.Demand(j))
 	}
-	cp := &coverProblem{
-		numTasks:  inst.NumTasks,
-		demands:   inst.Demands(),
-		offs:      make([]int, n+1),
-		taskIdx:   make([]int, 0, nnz),
-		qual:      make([]float64, 0, nnz),
-		totalQual: make([]float64, n),
-	}
-	for i, w := range inst.Workers {
-		cp.offs[i] = len(cp.taskIdx)
+	cp.offs = cp.offs[:0]
+	cp.taskIdx = cp.taskIdx[:0]
+	cp.qual = cp.qual[:0]
+	cp.totalQual = cp.totalQual[:0]
+	for i := range inst.Workers {
+		cp.offs = append(cp.offs, len(cp.taskIdx))
 		total := 0.0
-		for _, j := range w.Bundle {
+		for _, j := range inst.Workers[i].Bundle {
 			q := qualityOf(inst.Skills[i][j])
 			cp.taskIdx = append(cp.taskIdx, j)
 			cp.qual = append(cp.qual, q)
 			total += q
 		}
-		cp.totalQual[i] = total
+		cp.totalQual = append(cp.totalQual, total)
 	}
-	cp.offs[n] = len(cp.taskIdx)
-	return cp
+	cp.offs = append(cp.offs, len(cp.taskIdx))
+	cp.evals.Store(0)
 }
+
+// coverScratch holds every transient buffer the winner-set routines
+// need, so repeated cover computations allocate nothing once the
+// buffers are warm. Each scratch is owned by exactly one goroutine at a
+// time: the sequential build path uses one, and WithParallelism hands
+// each pool worker its own (see Auction.coverByCount). The slices
+// returned by the cover routines alias the scratch and are only valid
+// until its next use; callers persist them through arena.save.
+type coverScratch struct {
+	residual []float64
+	cover    []float64
+	heap     gainHeap
+	selected []int
+	active   []int
+	order    []int
+	// arena owns the winner-set memory that outlives the scratch: one
+	// chunk per build holds every retained winner slice back to back.
+	arena intArena
+}
+
+// intArena hands out immutable []int snapshots carved from a shared
+// chunk, replacing one short-lived allocation per winner set with an
+// amortized chunk allocation per build. reset reclaims the chunk, which
+// invalidates every slice previously handed out — exactly the
+// documented lifetime of Auction.Support between Rebuild calls.
+type intArena struct {
+	buf []int
+}
+
+// save copies xs into the arena and returns the stored slice, capped so
+// callers appending to it can never clobber a neighbouring save.
+func (a *intArena) save(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	if cap(a.buf)-len(a.buf) < len(xs) {
+		size := 2 * cap(a.buf)
+		if size < len(xs) {
+			size = len(xs)
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		a.buf = make([]int, 0, size)
+	}
+	lo := len(a.buf)
+	a.buf = append(a.buf, xs...)
+	return a.buf[lo:len(a.buf):len(a.buf)]
+}
+
+// reset reclaims the current chunk for the next build. Slices handed
+// out before the reset become invalid.
+func (a *intArena) reset() { a.buf = a.buf[:0] }
 
 // gain returns the marginal coverage sum_j min(residual_j, q_ij) worker
 // i would contribute given the current residual demands (Algorithm 1
@@ -111,8 +161,12 @@ func (cp *coverProblem) apply(i int, residual []float64) float64 {
 // all, i.e. whether taking every candidate satisfies every task's
 // error-bound constraint. This is exactly the paper's notion of a
 // feasible price (Section IV).
-func (cp *coverProblem) feasible(candidates []int) bool {
-	cover := make([]float64, cp.numTasks)
+func (cp *coverProblem) feasible(s *coverScratch, candidates []int) bool {
+	cover := s.cover[:0]
+	for j := 0; j < cp.numTasks; j++ {
+		cover = append(cover, 0)
+	}
+	s.cover = cover
 	for _, i := range candidates {
 		for k := cp.offs[i]; k < cp.offs[i+1]; k++ {
 			cover[cp.taskIdx[k]] += cp.qual[k]
@@ -141,31 +195,64 @@ type gainItem struct {
 
 // gainHeap is a max-heap on gain with deterministic tie-breaking on the
 // earlier candidate rank (matching the first-max scan of a naive
-// argmax over the bid-sorted candidate list).
+// argmax over the bid-sorted candidate list). The sift operations are
+// transliterated from container/heap so the element layout — and
+// therefore the exact sequence of lazy re-evaluations — is identical to
+// the previous heap.Interface implementation, while avoiding the
+// interface boxing that allocated on every Pop.
 type gainHeap []gainItem
 
-func (h gainHeap) Len() int { return len(h) }
-func (h gainHeap) Less(a, b int) bool {
+func (h gainHeap) less(a, b int) bool {
 	//mcslint:allow MCS-FLT001 comparator tie-break: a tolerance here would break strict weak ordering; exact inequality deterministically falls through to rank
 	if h[a].gain != h[b].gain {
 		return h[a].gain > h[b].gain
 	}
 	return h[a].rank < h[b].rank
 }
-func (h gainHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainItem)) }
-func (h *gainHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// siftDown restores the heap property below i0 within h[:n], exactly
+// mirroring container/heap's down.
+func (h gainHeap) siftDown(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// initHeap establishes the heap property, mirroring container/heap.Init.
+func (h gainHeap) initHeap() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i, n)
+	}
+}
+
+// popTop removes the root, mirroring container/heap.Pop's swap-to-tail
+// order so the post-pop layout matches the stdlib implementation.
+func (h gainHeap) popTop() gainHeap {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	h.siftDown(0, n)
+	return h[:n]
 }
 
 // greedyCover runs the inner loop of Algorithm 1: repeatedly select the
 // candidate with the largest marginal coverage gain until every task's
 // residual demand reaches zero. It returns the selected workers in
-// selection order and whether the demands were fully covered.
+// selection order and whether the demands were fully covered. The
+// returned slice aliases s and is only valid until s is next used.
 //
 // The implementation uses lazy (CELF-style) evaluation: the marginal
 // gain sum_j min(residual_j, q_ij) is submodular in the selected set,
@@ -174,28 +261,34 @@ func (h *gainHeap) Pop() any {
 // fresh evaluation stays on top it is exactly the argmax the naive scan
 // would have picked. greedyCoverNaive below is the direct transcription
 // used to cross-check this in tests and ablation benches.
-func (cp *coverProblem) greedyCover(candidates []int) ([]int, bool) {
-	residual := append([]float64(nil), cp.demands...)
+func (cp *coverProblem) greedyCover(s *coverScratch, candidates []int) ([]int, bool) {
+	residual := append(s.residual[:0], cp.demands...)
+	s.residual = residual
 	remaining := 0.0
 	for _, r := range residual {
 		remaining += r
 	}
+	s.selected = s.selected[:0]
 	if remaining <= residualTol {
 		return nil, true
 	}
 
-	h := make(gainHeap, 0, len(candidates))
+	if cap(s.heap) < len(candidates) {
+		s.heap = make(gainHeap, 0, len(candidates))
+	}
+	h := s.heap[:0]
 	for rank, i := range candidates {
 		g := cp.gain(i, residual)
 		if g > 0 {
 			h = append(h, gainItem{worker: i, rank: rank, gain: g, round: 0})
 		}
 	}
-	heap.Init(&h)
+	s.heap = h
+	h.initHeap()
 
-	var selected []int
+	selected := s.selected
 	round := 0
-	for remaining > residualTol && h.Len() > 0 {
+	for remaining > residualTol && len(h) > 0 {
 		top := h[0]
 		if top.round != round {
 			// Stale gain: re-evaluate against the current residual and
@@ -203,19 +296,23 @@ func (cp *coverProblem) greedyCover(candidates []int) ([]int, bool) {
 			// not larger than the cached one.
 			fresh := cp.gain(top.worker, residual)
 			if fresh <= 0 {
-				heap.Pop(&h)
+				h = h.popTop()
 				continue
 			}
 			h[0].gain = fresh
 			h[0].round = round
-			heap.Fix(&h, 0)
+			h.siftDown(0, len(h))
 			continue
 		}
-		heap.Pop(&h)
+		h = h.popTop()
 		removed := cp.apply(top.worker, residual)
 		remaining -= removed
 		selected = append(selected, top.worker)
 		round++
+	}
+	s.selected = selected
+	if len(selected) == 0 {
+		return nil, remaining <= residualTol
 	}
 	return selected, remaining <= residualTol
 }
@@ -223,15 +320,18 @@ func (cp *coverProblem) greedyCover(candidates []int) ([]int, bool) {
 // greedyCoverNaive is the literal transcription of Algorithm 1 lines
 // 8-13: a full argmax scan over the remaining candidates per selection.
 // It must produce exactly the same winner set as greedyCover; the lazy
-// version exists purely to cut the number of gain evaluations.
-func (cp *coverProblem) greedyCoverNaive(candidates []int) ([]int, bool) {
-	residual := append([]float64(nil), cp.demands...)
+// version exists purely to cut the number of gain evaluations. The
+// returned slice aliases s and is only valid until s is next used.
+func (cp *coverProblem) greedyCoverNaive(s *coverScratch, candidates []int) ([]int, bool) {
+	residual := append(s.residual[:0], cp.demands...)
+	s.residual = residual
 	remaining := 0.0
 	for _, r := range residual {
 		remaining += r
 	}
-	active := append([]int(nil), candidates...)
-	var selected []int
+	active := append(s.active[:0], candidates...)
+	selected := s.selected[:0]
+	defer func() { s.active, s.selected = active, selected }()
 	for remaining > residualTol {
 		bestIdx := -1
 		bestGain := 0.0
@@ -253,25 +353,42 @@ func (cp *coverProblem) greedyCoverNaive(candidates []int) ([]int, bool) {
 	return selected, true
 }
 
+// staticOrder sorts candidate indices descending by static total
+// quality with an index tie-break. The comparator is a strict total
+// order (indices are unique), so the unstable sort.Sort produces
+// exactly the sequence the previous sort.SliceStable did, without the
+// per-call closure and reflection allocations.
+type staticOrder struct {
+	idx  []int
+	qual []float64
+}
+
+func (s *staticOrder) Len() int      { return len(s.idx) }
+func (s *staticOrder) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *staticOrder) Less(a, b int) bool {
+	//mcslint:allow MCS-FLT001 comparator tie-break: exact inequality keeps the order a strict weak ordering and falls through to index
+	if s.qual[s.idx[a]] != s.qual[s.idx[b]] {
+		return s.qual[s.idx[a]] > s.qual[s.idx[b]]
+	}
+	return s.idx[a] < s.idx[b]
+}
+
 // staticCover implements the baseline auction of Section VII-A: select
 // candidates in descending order of their static total quality
 // sum_j q_ij (ignoring what is already covered) until every task's
-// error-bound constraint is satisfied.
-func (cp *coverProblem) staticCover(candidates []int) ([]int, bool) {
-	order := append([]int(nil), candidates...)
-	sort.SliceStable(order, func(a, b int) bool {
-		//mcslint:allow MCS-FLT001 comparator tie-break: exact inequality keeps the order a strict weak ordering and falls through to index
-		if cp.totalQual[order[a]] != cp.totalQual[order[b]] {
-			return cp.totalQual[order[a]] > cp.totalQual[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	residual := append([]float64(nil), cp.demands...)
+// error-bound constraint is satisfied. The returned slice aliases s and
+// is only valid until s is next used.
+func (cp *coverProblem) staticCover(s *coverScratch, candidates []int) ([]int, bool) {
+	order := append(s.order[:0], candidates...)
+	s.order = order
+	sort.Sort(&staticOrder{idx: order, qual: cp.totalQual})
+	residual := append(s.residual[:0], cp.demands...)
+	s.residual = residual
 	remaining := 0.0
 	for _, r := range residual {
 		remaining += r
 	}
-	var selected []int
+	selected := s.selected[:0]
 	for _, i := range order {
 		if remaining <= residualTol {
 			break
@@ -283,5 +400,6 @@ func (cp *coverProblem) staticCover(candidates []int) ([]int, bool) {
 		remaining -= removed
 		selected = append(selected, i)
 	}
+	s.selected = selected
 	return selected, remaining <= residualTol
 }

@@ -184,7 +184,10 @@ func qualityOf(theta float64) float64 {
 }
 
 // Clone deep-copies the instance so mechanism internals can never
-// alias caller-owned memory.
+// alias caller-owned memory. Per-worker bundles and skill rows are laid
+// out in two flat backing arrays (capped sub-slices, so appending to
+// one row can never clobber a neighbour), keeping the clone at a
+// handful of allocations instead of two per worker.
 func (inst *Instance) Clone() Instance {
 	cp := Instance{
 		NumTasks:   inst.NumTasks,
@@ -196,11 +199,30 @@ func (inst *Instance) Clone() Instance {
 		CMax:       inst.CMax,
 		PriceGrid:  append([]float64(nil), inst.PriceGrid...),
 	}
+	nb, ns := 0, 0
+	for i := range inst.Workers {
+		nb += len(inst.Workers[i].Bundle)
+	}
+	for i := range inst.Skills {
+		ns += len(inst.Skills[i])
+	}
+	flatB := make([]int, 0, nb)
+	flatS := make([]float64, 0, ns)
 	for i, w := range inst.Workers {
-		cp.Workers[i] = Worker{ID: w.ID, Bundle: append([]int(nil), w.Bundle...), Bid: w.Bid}
+		lo := len(flatB)
+		flatB = append(flatB, w.Bundle...)
+		var bundle []int
+		if len(w.Bundle) > 0 {
+			bundle = flatB[lo:len(flatB):len(flatB)]
+		}
+		cp.Workers[i] = Worker{ID: w.ID, Bundle: bundle, Bid: w.Bid}
 	}
 	for i, row := range inst.Skills {
-		cp.Skills[i] = append([]float64(nil), row...)
+		lo := len(flatS)
+		flatS = append(flatS, row...)
+		if len(row) > 0 {
+			cp.Skills[i] = flatS[lo:len(flatS):len(flatS)]
+		}
 	}
 	return cp
 }

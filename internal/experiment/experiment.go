@@ -53,18 +53,25 @@ type Config struct {
 	// "Optimal" baseline provable on modest hardware (the paper's
 	// GUROBI runs took up to 6139 s).
 	Scale float64
-	// Parallelism bounds the worker pool the runners fan sweep points
-	// and per-point instances out on, and the number of goroutines used
-	// to compute winner sets per auction construction. Results are
+	// Parallelism is the runners' single concurrency budget: it bounds
+	// the worker pool that sweep points and per-point instances fan out
+	// on. Inside the pool every auction construction runs sequentially —
+	// the pool already owns the budget, and nesting core.WithParallelism
+	// under it would schedule parallelism^2 contending goroutines (the
+	// oversubscription bug ISSUE 9 fixed; see DESIGN.md "Hot path &
+	// scratch memory"). Builds that happen outside a pool (Figure 5's
+	// per-profile constructions) do use the full budget. Results are
 	// byte-identical to sequential execution: every job's randomness is
 	// pre-derived from Seed in the sequential order and aggregation
 	// happens in index order. Zero means GOMAXPROCS; 1 forces the
 	// sequential path.
 	Parallelism int
-	// Telemetry, when non-nil, instruments the epsilon-sweep auction
-	// constructions and reweights (mcs_core_*). Instance generation and
-	// feasibility probing stay uninstrumented so the counters reflect
-	// the sweep itself.
+	// Telemetry, when non-nil, instruments the measured auction
+	// constructions (mcs_core_*): the payment sweeps count exactly one
+	// auction per sweep-point instance per selection rule, and the
+	// epsilon sweep counts its per-profile constructions and reweights.
+	// Feasibility probing that discards the auction (Figure 5, Table II)
+	// stays uninstrumented so the counters reflect the measured builds.
 	Telemetry *telemetry.Registry
 	// Events, when non-nil, receives the run's structured event stream:
 	// sweep.start / sweep.progress (with an ETA extrapolated from the
@@ -190,23 +197,39 @@ func paymentStats(a *core.Auction, cfg Config, r *rand.Rand) (mean, std float64)
 	return m, math.Sqrt(v)
 }
 
+// buildOptions says how generateFeasible constructs the auction it
+// probes feasibility with. Callers inside a runIndexed pool pass
+// parallelism 1 — the pool owns the concurrency budget (Config.
+// Parallelism doc) — and set telemetry/events only when the returned
+// auction is the measured one rather than a discarded probe.
+type buildOptions struct {
+	parallelism int
+	telemetry   *telemetry.Registry
+	events      *evlog.Logger
+}
+
 // generateFeasible draws instances until one admits a feasible auction,
-// up to a retry cap.
-func generateFeasible(p workload.Params, r *rand.Rand) (core.Instance, *core.Auction, error) {
+// up to a retry cap. The successful auction is returned along with its
+// construction wall-clock time, so callers measuring build cost
+// (Figures 1-4, Table II) reuse it instead of constructing the same
+// auction a second time.
+func generateFeasible(p workload.Params, r *rand.Rand, opt buildOptions) (core.Instance, *core.Auction, time.Duration, error) {
 	for attempt := 0; attempt < 20; attempt++ {
 		inst, err := p.Generate(r)
 		if err != nil {
-			return core.Instance{}, nil, err
+			return core.Instance{}, nil, 0, err
 		}
-		a, err := core.New(inst, core.WithParallelism(runtime.GOMAXPROCS(0)))
+		start := time.Now()
+		a, err := core.New(inst, core.WithParallelism(opt.parallelism),
+			core.WithTelemetry(opt.telemetry), core.WithEventLog(opt.events))
 		if err == nil {
-			return inst, a, nil
+			return inst, a, time.Since(start), nil
 		}
 		if !errors.Is(err, core.ErrInfeasible) {
-			return core.Instance{}, nil, err
+			return core.Instance{}, nil, 0, err
 		}
 	}
-	return core.Instance{}, nil, fmt.Errorf("%w: N=%d K=%d", ErrNoFeasibleInstance, p.N, p.K)
+	return core.Instance{}, nil, 0, fmt.Errorf("%w: N=%d K=%d", ErrNoFeasibleInstance, p.N, p.K)
 }
 
 // instanceResult is the outcome of one (sweep point, instance) job: the
@@ -228,25 +251,23 @@ type instanceResult struct {
 func runSweepInstance(p workload.Params, withOptimal bool, cfg Config, seed int64) instanceResult {
 	var res instanceResult
 	r := rand.New(rand.NewSource(seed))
-	inst, dpAuction, err := generateFeasible(p, r)
+	// The feasibility-probe build IS the measured DP auction: timed,
+	// instrumented, and reused — the old code built it a second time
+	// "to time construction alone" and paid twice per sweep point.
+	// Parallelism 1: this job already runs on the sweep pool, which
+	// owns the concurrency budget.
+	inst, dpAuction, buildTime, err := generateFeasible(p, r,
+		buildOptions{parallelism: 1, telemetry: cfg.Telemetry, events: cfg.Events})
 	if err != nil {
 		res.err = err
 		return res
 	}
-
-	startDP := time.Now()
-	// Rebuild to time construction alone (generateFeasible already
-	// built one to check feasibility).
-	dpAuction, err = core.New(inst, core.WithParallelism(cfg.Parallelism), core.WithEventLog(cfg.Events))
-	if err != nil {
-		res.err = err
-		return res
-	}
-	res.dpElapsed = time.Since(startDP)
+	res.dpElapsed = buildTime
 
 	res.dpMean, res.dpStd = paymentStats(dpAuction, cfg, r)
 
-	baseAuction, err := core.New(inst, core.WithRule(core.RuleStatic), core.WithParallelism(cfg.Parallelism))
+	baseAuction, err := core.New(inst, core.WithRule(core.RuleStatic),
+		core.WithTelemetry(cfg.Telemetry), core.WithEventLog(cfg.Events))
 	if err != nil {
 		res.err = err
 		return res

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/telemetry"
+	"github.com/dphsrc/dphsrc/internal/workload"
+)
+
+// TestSweepBuildsOneAuctionPerPointPerRule is the regression test for
+// the double-build bug: runSweepInstance used to construct the DP
+// auction twice per sweep point (once inside generateFeasible to probe
+// feasibility, once more "to time construction alone"). Now the probe
+// build is the measured build, so the sweep must count exactly one
+// mcs_core_auctions_total increment per (point, instance) per selection
+// rule — DP-hSRC greedy plus the static baseline.
+func TestSweepBuildsOneAuctionPerPointPerRule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := Config{Seed: 7, Scale: 0.08, Instances: 2, Parallelism: 2, Telemetry: reg}
+	xs := []int{200, 260, 320}
+	if _, err := paymentSweep("figX", "t", "x", xs, workload.SettingIV, false, cfg); err != nil {
+		t.Fatal(err)
+	}
+	const rules = 2 // greedy DP auction + static baseline
+	want := int64(len(xs) * cfg.Instances * rules)
+	if got := reg.Counter("mcs_core_auctions_total", "").Value(); got != want {
+		t.Fatalf("auctions_total = %d, want %d (one build per point-instance per rule)", got, want)
+	}
+}
+
+// TestPaymentSweepParallelSpeedup asserts the sweep pool actually pays
+// for itself once the inner builds stop competing with it: at
+// parallelism 4 the sweep must run at least 2x faster than sequential.
+// Skipped on machines without 4 cores, where the speedup cannot exist.
+func TestPaymentSweepParallelSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4; parallel speedup not measurable", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	mk := func(parallelism int) Config {
+		return Config{Seed: 7, Scale: 0.2, Instances: 2, Parallelism: parallelism}
+	}
+	xs := []int{260, 300, 340, 380, 420, 460, 500}
+	sweep := func(parallelism int) time.Duration {
+		start := time.Now()
+		if _, err := paymentSweep("figX", "t", "x", xs, workload.SettingIV, false, mk(parallelism)); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	sweep(1) // warm caches so the timed runs compare like for like
+	seq := sweep(1)
+	par := sweep(4)
+	if par > seq/2 {
+		t.Fatalf("parallel sweep %v vs sequential %v: speedup %.2fx < 2x at parallelism 4",
+			par, seq, float64(seq)/float64(par))
+	}
+}

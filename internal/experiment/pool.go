@@ -19,8 +19,16 @@ func runIndexed(n, parallelism int, fn func(int)) {
 		}
 		return
 	}
+	// The channel is buffered to n and filled before the workers spawn:
+	// an unbuffered channel would serialize the producer against worker
+	// pickup, leaving workers idle between jobs exactly when the jobs
+	// are short.
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
 	var wg sync.WaitGroup
-	work := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
@@ -30,9 +38,5 @@ func runIndexed(n, parallelism int, fn func(int)) {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
 	wg.Wait()
 }

@@ -40,8 +40,11 @@ func Figure5(cfg Config) (Figure5Result, error) {
 
 	// One base instance reused across the epsilon sweep so the curves
 	// vary only with epsilon, as in the paper.
+	// The probe auction is discarded (the sweep builds its own below
+	// with the fixed support), so it stays uninstrumented; this build
+	// happens before the pool fans out, so it may use the full budget.
 	params := workload.SettingIV(200).Scaled(cfg.Scale)
-	inst, _, err := generateFeasible(params, r)
+	inst, _, _, err := generateFeasible(params, r, buildOptions{parallelism: cfg.Parallelism})
 	if err != nil {
 		return Figure5Result{}, err
 	}

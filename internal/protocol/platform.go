@@ -278,6 +278,12 @@ type Platform struct {
 	// skip-begun-rounds resume rule.
 	roundMu   sync.Mutex
 	nextRound int
+	// auctionMu guards auction, the reusable DP auction rebuilt in
+	// place each round (core.Auction.Rebuild) so consecutive rounds
+	// stop paying New's allocations. A concurrent round attempt that
+	// cannot take the lock falls back to a fresh construction.
+	auctionMu sync.Mutex
+	auction   *core.Auction
 }
 
 // NewPlatform validates the configuration and returns a Platform.
@@ -679,12 +685,11 @@ func (p *Platform) runAuctionPhase(sessions []*session, round int, spanID int64)
 	if err != nil {
 		return core.Outcome{}, core.Instance{}, err
 	}
-	auction, err := core.New(inst,
-		core.WithTelemetry(p.cfg.Telemetry),
-		core.WithEventLog(p.cfg.Events))
+	auction, release, err := p.acquireAuction(inst)
 	if err != nil {
 		return core.Outcome{}, core.Instance{}, fmt.Errorf("protocol: building auction: %w", err)
 	}
+	defer release()
 	if p.cfg.Accountant != nil {
 		if err := p.cfg.Accountant.Spend(p.cfg.Epsilon); err != nil {
 			return core.Outcome{}, core.Instance{}, err
@@ -698,6 +703,42 @@ func (p *Platform) runAuctionPhase(sessions []*session, round int, spanID int64)
 		evlog.Aggregate("clearing_price", outcome.Price),
 		evlog.Int("winners", len(outcome.Winners)))
 	return outcome, inst, nil
+}
+
+// acquireAuction returns a built auction over inst plus a release
+// func. The common sequential-round case takes the platform's reusable
+// auction and rebuilds it in place — Rebuild is bitwise-identical to a
+// fresh New, so round outcomes (and resumed campaigns, which start
+// from a cold auction) are unaffected. If another round holds the
+// reusable auction, or a rebuild fails (leaving it unusable until the
+// next successful build), the caller gets a fresh construction.
+func (p *Platform) acquireAuction(inst core.Instance) (*core.Auction, func(), error) {
+	if p.auctionMu.TryLock() {
+		if p.auction == nil {
+			a, err := core.New(inst,
+				core.WithTelemetry(p.cfg.Telemetry),
+				core.WithEventLog(p.cfg.Events))
+			if err != nil {
+				p.auctionMu.Unlock()
+				return nil, nil, err
+			}
+			p.auction = a
+			return a, p.auctionMu.Unlock, nil
+		}
+		if err := p.auction.Rebuild(inst); err != nil {
+			p.auction = nil
+			p.auctionMu.Unlock()
+			return nil, nil, err
+		}
+		return p.auction, p.auctionMu.Unlock, nil
+	}
+	a, err := core.New(inst,
+		core.WithTelemetry(p.cfg.Telemetry),
+		core.WithEventLog(p.cfg.Events))
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, func() {}, nil
 }
 
 // runShardedAuctionPhase closes the shard round and merges the

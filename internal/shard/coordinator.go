@@ -32,6 +32,14 @@ type Coordinator struct {
 	open   bool
 	closed bool
 	parts  []*partition
+
+	// reuse[i] is partition i's auction from a previous round, rebuilt
+	// in place (core.Auction.Rebuild) instead of reconstructed. Each
+	// entry is touched only by the goroutine building partition i
+	// within RunRound's build barrier, and RunRound itself is called
+	// from the platform's (single) round loop, so no extra locking is
+	// needed.
+	reuse []*core.Auction
 }
 
 // NewCoordinator validates the configuration, applies defaults
@@ -52,7 +60,11 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.Quorum < 1 {
 		cfg.Quorum = 1
 	}
-	return &Coordinator{cfg: cfg, met: newShardMetrics(cfg.Telemetry, cfg.Partitions)}, nil
+	return &Coordinator{
+		cfg:   cfg,
+		met:   newShardMetrics(cfg.Telemetry, cfg.Partitions),
+		reuse: make([]*core.Auction, cfg.Partitions),
+	}, nil
 }
 
 // Partitions returns the configured partition count.
@@ -159,12 +171,23 @@ func (c *Coordinator) buildPartition(ctx context.Context, round int, p *partitio
 	if err != nil {
 		return builtPartition{status: StatusInfeasible, bids: bids}
 	}
+	if prev := c.reuse[p.idx]; prev != nil {
+		// Rebuild in place: bitwise-identical to a fresh New, without
+		// its per-round allocations. A failed rebuild leaves the
+		// auction unusable, so drop it for reconstruction next round.
+		if err := prev.Rebuild(inst); err != nil {
+			c.reuse[p.idx] = nil
+			return builtPartition{status: StatusInfeasible, bids: bids}
+		}
+		return builtPartition{status: StatusOK, bids: bids, a: prev}
+	}
 	a, err := core.New(inst,
 		core.WithTelemetry(c.cfg.Telemetry),
 		core.WithEventLog(c.cfg.Events))
 	if err != nil {
 		return builtPartition{status: StatusInfeasible, bids: bids}
 	}
+	c.reuse[p.idx] = a
 	return builtPartition{status: StatusOK, bids: bids, a: a}
 }
 
