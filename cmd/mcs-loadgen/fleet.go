@@ -103,9 +103,9 @@ type FleetResult struct {
 	Rejected int `json:"rejected"`
 	Failed   int `json:"failed"`
 	// Attempts sums connection attempts across the fleet.
-	Attempts     int     `json:"attempts"`
-	TotalPaid    float64 `json:"total_paid"`
-	WallSeconds  float64 `json:"wall_seconds"`
+	Attempts     int            `json:"attempts"`
+	TotalPaid    float64        `json:"total_paid"`
+	WallSeconds  float64        `json:"wall_seconds"`
 	Latency      LatencySummary `json:"latency_seconds"`
 	latenciesSec []float64
 }

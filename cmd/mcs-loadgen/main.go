@@ -23,9 +23,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/dphsrc/dphsrc"
@@ -40,13 +42,36 @@ func main() {
 
 // loadgenFile is the -out benchmark record.
 type loadgenFile struct {
-	Schema  string         `json:"schema"`
-	Addr    string         `json:"addr"`
-	Curve   string         `json:"curve"`
-	Seed    int64          `json:"seed"`
-	Rounds  int            `json:"rounds"`
-	Fleet   []FleetResult  `json:"fleet"`
-	Latency LatencySummary `json:"latency_seconds"`
+	Schema  string          `json:"schema"`
+	Addr    string          `json:"addr"`
+	Curve   string          `json:"curve"`
+	Seed    int64           `json:"seed"`
+	Rounds  int             `json:"rounds"`
+	Fleet   []FleetResult   `json:"fleet"`
+	Latency LatencySummary  `json:"latency_seconds"`
+	Console []consoleSample `json:"console,omitempty"`
+}
+
+// consoleSample is one -console-poll observation, taken right after a
+// fleet round returns: the platform console's round accounting next to
+// the client's own, so a benchmark record shows whether the operator
+// view kept up with the load it reports on.
+type consoleSample struct {
+	// Round is the loadgen round index the sample follows.
+	Round int `json:"round"`
+	// ClientRounds is how many rounds the fleet has driven to
+	// completion from the client's side (round + 1).
+	ClientRounds int `json:"client_rounds"`
+	// ConsoleRounds is the platform console's total across completed,
+	// degraded and failed rounds at poll time.
+	ConsoleRounds int64 `json:"console_rounds"`
+	// LagRounds is ClientRounds - ConsoleRounds: 0 when the console's
+	// accounting is caught up, positive when it trails the fleet.
+	LagRounds int64 `json:"lag_rounds"`
+	// Phase is the platform's published round phase at poll time.
+	Phase string `json:"phase,omitempty"`
+	// Error records a failed poll (the sample's counts are zero).
+	Error string `json:"error,omitempty"`
 }
 
 func run(args []string) error {
@@ -68,6 +93,7 @@ func run(args []string) error {
 		slowFrac    = fs.Float64("slow-frac", 0, "fraction of workers with stalling writes")
 		slowDelay   = fs.Duration("slow-delay", 5*time.Millisecond, "per-write stall of slow workers")
 		stormFrac   = fs.Float64("storm-frac", 0, "fraction of workers whose first dial fails (reconnect storm)")
+		consolePoll = fs.String("console-poll", "", "poll this platform console base URL (e.g. http://127.0.0.1:7790) after each round and record console-reported vs client-observed round counts")
 		out         = fs.String("out", "", "write the benchmark record (mcs-loadgen/v1 JSON) to this file")
 		eventsOut   = fs.String("events-out", "", "write the structured event stream as JSONL to this file")
 		manifestOut = fs.String("manifest-out", "", "write a run-provenance manifest to this file")
@@ -123,6 +149,21 @@ func run(args []string) error {
 		}
 		file.Fleet = append(file.Fleet, res)
 		all = append(all, res.latenciesSec...)
+		if *consolePoll != "" {
+			sample := pollConsole(*consolePoll, round)
+			file.Console = append(file.Console, sample)
+			if sample.Error != "" {
+				ev.Warn("console.poll_failed",
+					dphsrc.EventInt("round", round),
+					dphsrc.EventString("error", sample.Error))
+			} else {
+				ev.Info("console.polled",
+					dphsrc.EventInt("round", round),
+					dphsrc.EventInt64("console_rounds", sample.ConsoleRounds),
+					dphsrc.EventInt64("lag_rounds", sample.LagRounds),
+					dphsrc.EventString("phase", sample.Phase))
+			}
+		}
 	}
 	file.Latency = summarize(all)
 
@@ -158,6 +199,34 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// pollConsole reads the platform console's /api/overview once and
+// compares its round accounting with the client's own view. Failures
+// degrade to an error-bearing sample — a dead console must not fail
+// the benchmark that was measuring around it.
+func pollConsole(baseURL string, round int) consoleSample {
+	s := consoleSample{Round: round, ClientRounds: round + 1}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(baseURL, "/") + "/api/overview")
+	if err != nil {
+		s.Error = err.Error()
+		return s
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		s.Error = fmt.Sprintf("console returned status %d", resp.StatusCode)
+		return s
+	}
+	var o dphsrc.ConsoleOverview
+	if err := json.NewDecoder(resp.Body).Decode(&o); err != nil {
+		s.Error = err.Error()
+		return s
+	}
+	s.ConsoleRounds = o.Rounds.Completed + o.Rounds.Degraded + o.Rounds.Failed
+	s.LagRounds = int64(s.ClientRounds) - s.ConsoleRounds
+	s.Phase = o.Status.Phase
+	return s
 }
 
 // summarize computes the cross-round latency distribution.

@@ -68,6 +68,7 @@ func run(args []string) error {
 		skillLo     = fs.Float64("skill-lo", 0.75, "lower bound of simulated historical skills")
 		skillHi     = fs.Float64("skill-hi", 0.95, "upper bound of simulated historical skills")
 		metricsAdr  = fs.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address (empty = disabled)")
+		consoleAdr  = fs.String("console-addr", "", "serve the live operator console (HTML dashboard + /api/overview,rounds,events) on this address (empty = disabled)")
 		traceOut    = fs.String("trace-out", "", "write the round's span tree as JSON to this file (empty = disabled)")
 		eventsOut   = fs.String("events-out", "", "write the structured event stream as JSONL to this file (empty = stderr only)")
 		manifestOut = fs.String("manifest-out", "", "write a run-provenance manifest (config, seed, artifact hashes) to this file (empty = disabled)")
@@ -93,15 +94,25 @@ func run(args []string) error {
 	if !*quiet {
 		evOpts = append(evOpts, dphsrc.WithEventSink(os.Stderr))
 	}
+	// The console's drill-down view tails the same event stream through
+	// a bounded ring attached to the logger; it must be wired in before
+	// the first event is emitted so the ring misses nothing.
+	var tailBuf *dphsrc.EventTailBuffer
+	if *consoleAdr != "" {
+		tailBuf = dphsrc.NewEventTailBuffer(0)
+		evOpts = append(evOpts, dphsrc.WithEventTail(tailBuf))
+	}
 	ev := dphsrc.NewEventLogger(evOpts...)
 
 	var (
 		reg    *dphsrc.TelemetryRegistry
 		tracer *dphsrc.TelemetryTracer
 	)
-	if *metricsAdr != "" {
+	if *metricsAdr != "" || *consoleAdr != "" {
 		reg = dphsrc.NewTelemetryRegistry()
-		_, closeSrv, err := startTelemetryServer(*metricsAdr, reg, ev)
+	}
+	if *metricsAdr != "" {
+		_, closeSrv, err := startHTTPServer("telemetry", *metricsAdr, telemetryMux(reg, ev), ev)
 		if err != nil {
 			return err
 		}
@@ -226,6 +237,35 @@ func run(args []string) error {
 	platform, err := dphsrc.NewPlatform(cfg)
 	if err != nil {
 		return err
+	}
+
+	// The operator console aggregates every observability surface the
+	// process carries — live round status, the metrics registry, the
+	// event tail ring, the DP accountant, shard occupancy, and the
+	// recovered durable state — behind one HTTP address. It shares the
+	// graceful-shutdown path with the telemetry endpoint.
+	if *consoleAdr != "" {
+		ccfg := dphsrc.ConsoleConfig{
+			Status: func() dphsrc.ConsoleStatus {
+				s := platform.Status()
+				return dphsrc.ConsoleStatus{Round: s.Round, Phase: s.Phase}
+			},
+			Metrics:     reg,
+			Events:      tailBuf,
+			Accountant:  acct,
+			ShardStats:  platform.ShardStats,
+			RoundsTotal: roundsTotal,
+			StartRound:  startRound,
+		}
+		if st != nil {
+			ccfg.StoreState = st.State
+		}
+		_, closeConsole, err := startHTTPServer("console", *consoleAdr,
+			dphsrc.NewConsoleServer(ccfg).Handler(), ev)
+		if err != nil {
+			return err
+		}
+		defer closeConsole()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -355,16 +395,9 @@ func writeManifest(path string, fs *flag.FlagSet, platform *dphsrc.Platform, acc
 	return m.WriteFile(path)
 }
 
-// startTelemetryServer serves the registry's Prometheus text exposition
-// at /metrics and the standard pprof profiles under /debug/pprof/ on
-// addr. It listens synchronously so a bad address fails the command
-// instead of dying inside a background goroutine; the returned func
-// shuts the server down gracefully, letting in-flight scrapes finish.
-func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry, ev *dphsrc.EventLogger) (string, func(), error) {
-	tln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("telemetry listener: %w", err)
-	}
+// telemetryMux serves the registry's Prometheus text exposition at
+// /metrics and the standard pprof profiles under /debug/pprof/.
+func telemetryMux(reg *dphsrc.TelemetryRegistry, ev *dphsrc.EventLogger) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -377,13 +410,26 @@ func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry, ev *dphsrc
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// startHTTPServer serves handler on addr: the shared lifecycle for the
+// daemon's auxiliary HTTP surfaces (telemetry, console). It listens
+// synchronously so a bad address fails the command instead of dying
+// inside a background goroutine; the returned func shuts the server
+// down gracefully, letting in-flight requests finish.
+func startHTTPServer(name, addr string, handler http.Handler, ev *dphsrc.EventLogger) (string, func(), error) {
+	hln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s listener: %w", name, err)
+	}
+	srv := &http.Server{Handler: handler}
 	go func() {
-		if err := srv.Serve(tln); err != nil && err != http.ErrServerClosed {
-			ev.Error("telemetry.server_error", dphsrc.EventString("error", err.Error()))
+		if err := srv.Serve(hln); err != nil && err != http.ErrServerClosed {
+			ev.Error(name+".server_error", dphsrc.EventString("error", err.Error()))
 		}
 	}()
-	ev.Info("telemetry.serving", dphsrc.EventString("addr", tln.Addr().String()))
+	ev.Info(name+".serving", dphsrc.EventString("addr", hln.Addr().String()))
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
@@ -392,7 +438,7 @@ func startTelemetryServer(addr string, reg *dphsrc.TelemetryRegistry, ev *dphsrc
 			_ = srv.Close()
 		}
 	}
-	return tln.Addr().String(), shutdown, nil
+	return hln.Addr().String(), shutdown, nil
 }
 
 // writeTrace exports the tracer's span tree as indented JSON to path.

@@ -49,12 +49,15 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-metrics-addr", "256.0.0.1:99999", "-window", "1ms"}); err == nil {
 		t.Error("bad metrics address accepted")
 	}
+	if err := run([]string{"-console-addr", "256.0.0.1:99999", "-window", "1ms"}); err == nil {
+		t.Error("bad console address accepted")
+	}
 }
 
 func TestTelemetryServerServesMetricsAndPprof(t *testing.T) {
 	reg := dphsrc.NewTelemetryRegistry()
 	reg.Counter("mcs_smoke_total", "Smoke counter.").Add(3)
-	addr, closeSrv, err := startTelemetryServer("127.0.0.1:0", reg, nil)
+	addr, closeSrv, err := startHTTPServer("telemetry", "127.0.0.1:0", telemetryMux(reg, nil), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,7 @@
 package dphsrc
 
 import (
+	"github.com/dphsrc/dphsrc/internal/console"
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/crowd"
 	"github.com/dphsrc/dphsrc/internal/experiment"
@@ -670,4 +671,59 @@ type (
 var (
 	NewManifest  = telemetry.NewManifest
 	ReadManifest = telemetry.ReadManifest
+)
+
+// Operator console (internal/console): one HTTP surface over a running
+// platform's metrics registry, event-stream tail, DP-budget ledger and
+// shard occupancy — an HTML dashboard with server-side SVG charts plus
+// JSON endpoints (/api/overview, /api/rounds, /api/events) serving the
+// same aggregates. Wire it with NewConsoleServer over a ConsoleConfig
+// and mount ConsoleServer.Handler on any http.Server.
+type (
+	// ConsoleServer renders the operator console.
+	ConsoleServer = console.Server
+	// ConsoleConfig wires a console to a platform's observability
+	// surfaces; every field is optional and absent sources degrade to
+	// absent panels.
+	ConsoleConfig = console.Config
+	// ConsoleStatus is the live round/phase position as the console
+	// consumes it (adapt from Platform.Status).
+	ConsoleStatus = console.Status
+	// ConsoleOverview is the /api/overview aggregate.
+	ConsoleOverview = console.Overview
+	// EventTailBuffer is the bounded ring over rendered event lines
+	// that feeds the console's drill-down and burn-down views; attach
+	// with WithEventTail. Overflow evicts oldest-first without ever
+	// blocking the logging hot path.
+	EventTailBuffer = evlog.TailBuffer
+	// EventTailEntry is one retained line in an EventTailBuffer.
+	EventTailEntry = evlog.TailEntry
+	// BudgetPoint is one step of the console's epsilon burn-down.
+	BudgetPoint = evlog.BudgetPoint
+	// MetricsSnapshot is a consistent point-in-time read of every
+	// series in a TelemetryRegistry (see Registry.Snapshot).
+	MetricsSnapshot = telemetry.Snapshot
+	// RoundStatus is the platform's published round/phase position.
+	RoundStatus = protocol.RoundStatus
+	// ShardPartitionStats is one partition's live occupancy and fault
+	// counters (see Platform.ShardStats).
+	ShardPartitionStats = shard.PartitionStats
+)
+
+// Round phases as published in RoundStatus.Phase.
+const (
+	PhaseIdle        = protocol.PhaseIdle
+	PhaseCollectBids = protocol.PhaseCollectBids
+	PhaseAuction     = protocol.PhaseAuction
+	PhaseLabels      = protocol.PhaseLabels
+	PhaseAggregate   = protocol.PhaseAggregate
+)
+
+// NewConsoleServer builds a console over the configured sources;
+// NewEventTailBuffer allocates the event ring (capacity <= 0 takes the
+// 2048 default) and WithEventTail attaches it to an event logger.
+var (
+	NewConsoleServer   = console.New
+	NewEventTailBuffer = evlog.NewTailBuffer
+	WithEventTail      = evlog.WithTail
 )

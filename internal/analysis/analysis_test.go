@@ -122,6 +122,14 @@ func TestPolicyResolve(t *testing.T) {
 		{"github.com/dphsrc/dphsrc/internal/experiment", CodeMapOrder, true},
 		{"github.com/dphsrc/dphsrc/internal/experiment", CodeWallClock, false},
 		{"github.com/dphsrc/dphsrc/internal/plot", CodeFloatEq, true}, // charts must render byte-stable
+		// console: leak-sink taint plus byte-stable rendering and checked
+		// response writes; pull-only, so the sleep-poll rule stays off.
+		{"github.com/dphsrc/dphsrc/internal/console", CodeLeakSink, true},
+		{"github.com/dphsrc/dphsrc/internal/console", CodeMapOrder, true},
+		{"github.com/dphsrc/dphsrc/internal/console", CodeUncheckedWrite, true},
+		{"github.com/dphsrc/dphsrc/internal/console", CodeMutexMisuse, true},
+		{"github.com/dphsrc/dphsrc/internal/console", CodeSleepPoll, false},
+		{"github.com/dphsrc/dphsrc/internal/console", CodeFloatEq, false},
 		// concurrency family: hot paths get the full set, faultnet keeps
 		// injected sleeps legal, pure-math packages stay out entirely.
 		{"github.com/dphsrc/dphsrc/internal/protocol", CodeMutexMisuse, true},

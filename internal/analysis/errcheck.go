@@ -20,6 +20,10 @@ import (
 // is accepted: the annotation burden is exactly one character, and the
 // explicit blank assignment documents the decision the way this suite
 // wants decisions documented.
+//
+// In-memory builders (strings.Builder, bytes.Buffer) are exempt: their
+// Write methods are documented to always return a nil error, so a bare
+// call drops nothing.
 func ErrCheckAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:  "errcheck-lite",
@@ -59,6 +63,9 @@ func runErrCheck(p *Pass) {
 			if !p.returnsError(call) {
 				return true
 			}
+			if isInfallibleWriter(p.Info.TypeOf(sel.X)) {
+				return true
+			}
 			code := CodeUncheckedWrite
 			kind := "write"
 			if name == "Close" {
@@ -69,6 +76,23 @@ func runErrCheck(p *Pass) {
 			return true
 		})
 	}
+}
+
+// isInfallibleWriter reports whether the receiver is an in-memory
+// builder whose Write-family methods are documented to never return a
+// non-nil error.
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch t.String() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
 }
 
 // returnsError reports whether the call's static callee has an error

@@ -258,6 +258,7 @@ func (p *Policy) IsDPRelease(name string) bool {
 //	internal/workload        ✓     —        FLT all    —         —          —
 //	internal/geo             ✓     —        FLT all    —         —          —
 //	internal/plot            ✓     —        FLT all    —         —          —          (charts must render byte-stable)
+//	internal/console         ✓     DPL001   —          ✓         CON1-3     —          (golden pages must render byte-stable; no bid value may reach a response)
 //	internal/protocol        —     ✓+DPL003 FLT001     ✓         ✓          ✓          (evlog is the only sanctioned log sink)
 //	internal/shard           ✓     DPL001   FLT001     ✓         ✓          ✓          (merged outcomes must replay bit-for-bit)
 //	internal/store           ✓     —        FLT001     ✓         ✓          ✓          (replay must be deterministic; every WAL write checked)
@@ -292,6 +293,13 @@ func DefaultPolicy() *Policy {
 			{Match: "internal/workload", Enable: append(append([]string{}, det...), floats...)},
 			{Match: "internal/geo", Enable: append(append([]string{}, det...), floats...)},
 			{Match: "internal/plot", Enable: append(append([]string{}, det...), floats...)},
+			// The operator console serves HTML and JSON derived only from
+			// redaction-safe surfaces: leak-sink taint machine-catches a
+			// raw bid ever being routed into a response, the determinism
+			// family keeps pages byte-stable for the golden tests, and
+			// every response write is checked. Sleep-poll stays off — the
+			// console is pull-only and never sits on the round path.
+			{Match: "internal/console", Enable: append(append(append([]string{CodeLeakSink}, det...), errs...), conNoPoll...)},
 			{
 				Match:  "internal/protocol",
 				Enable: append(append(append([]string{CodeLeakSink, CodeLeakMessage, CodeLogUse, CodeFloatEq}, errs...), cons...), durs...),

@@ -2,7 +2,11 @@
 // errcheck-lite recognizes.
 package errbad
 
-import "net"
+import (
+	"bytes"
+	"net"
+	"strings"
+)
 
 // Flush drops the write error and defers an unchecked close.
 func Flush(c net.Conn, frame []byte) {
@@ -23,4 +27,14 @@ func Shutdown(c net.Conn, frame []byte) error {
 	}
 	_ = c.Close()
 	return nil
+}
+
+// Render writes into in-memory builders, whose Write methods are
+// documented to never return a non-nil error: exempt, no diagnostics.
+func Render(frame []byte) string {
+	var sb strings.Builder
+	sb.WriteString("header")
+	var buf bytes.Buffer
+	buf.Write(frame)
+	return sb.String() + buf.String()
 }

@@ -1,0 +1,57 @@
+package console
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the golden pages from the current renderer output.
+var updateGolden = flag.Bool("update", false, "rewrite golden console pages")
+
+// TestGoldenPages pins every rendered console page byte-for-byte over
+// the deterministic fixture. The pages embed SVG charts, timestamps and
+// float formatting, so any rendering drift — intentional or not —
+// shows up as a golden diff. Refresh with:
+//
+//	go test ./internal/console/ -run TestGoldenPages -update
+func TestGoldenPages(t *testing.T) {
+	srv := fixture(t)
+	pages := []struct {
+		name string
+		got  string
+	}{
+		{"overview", srv.renderOverview()},
+		{"rounds", srv.renderRounds()},
+		{"events", srv.renderEvents(eventsQuery{limit: defaultEventsLimit})},
+	}
+	for _, p := range pages {
+		path := filepath.Join("testdata", p.name+".golden.html")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(p.got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", p.name, err)
+		}
+		if p.got != string(want) {
+			t.Errorf("%s page drifted from golden; run with -update and review the diff", p.name)
+		}
+	}
+
+	// The renderer itself must be deterministic, or the goldens are
+	// meaningless: render twice, byte-compare.
+	if srv.renderOverview() != pages[0].got {
+		t.Error("renderOverview is not deterministic")
+	}
+	if srv.renderEvents(eventsQuery{limit: defaultEventsLimit}) != pages[2].got {
+		t.Error("renderEvents is not deterministic")
+	}
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrBadHistogram reports mismatched histogram inputs.
+var ErrBadHistogram = fmt.Errorf("%w: histogram counts must be len(bounds)+1", ErrBadSeries)
+
+// HistogramSVG renders a fixed-bucket histogram — telemetry bucket
+// upper bounds plus per-bucket counts, the final count being the +Inf
+// overflow — as a standalone bar-chart SVG. Bucket labels are the
+// upper bounds ("≤b"), thinned when the bucket count would crowd the
+// axis. Like Chart.SVG the output is byte-stable for identical inputs.
+func HistogramSVG(title, xLabel string, bounds []float64, counts []int64) (string, error) {
+	if len(counts) == 0 || len(counts) != len(bounds)+1 {
+		return "", fmt.Errorf("%w: %d counts for %d bounds", ErrBadHistogram, len(counts), len(bounds))
+	}
+	var maxCount int64 = 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	plotW := float64(svgWidth - marginLeft - marginRight)
+	plotH := float64(svgHeight - marginTop - marginBot)
+	toY := func(c float64) float64 {
+		return float64(svgHeight-marginBot) - c/float64(maxCount)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgWidth, svgHeight, svgWidth, svgHeight)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#333" stroke-width="1"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+			svgWidth/2, marginTop-16, escape(title))
+	}
+	if xLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			svgWidth/2, svgHeight-12, escape(xLabel))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 16 %d)">count</text>`+"\n",
+		16, svgHeight/2, svgHeight/2)
+
+	// Horizontal grid at nice count positions.
+	for _, tv := range niceTicks(0, float64(maxCount), 6) {
+		y := toY(tv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			marginLeft, y, float64(marginLeft)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tv))
+	}
+
+	// Bars: one slot per bucket, bars at 80% slot width. Labels thin to
+	// at most ~8 so wide bucket layouts stay legible.
+	n := len(counts)
+	slotW := plotW / float64(n)
+	labelStep := (n + 7) / 8
+	for i, c := range counts {
+		x := float64(marginLeft) + float64(i)*slotW
+		barW := slotW * 0.8
+		y := toY(float64(c))
+		h := float64(svgHeight-marginBot) - y
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333" stroke-width="0.5"/>`+"\n",
+			x+slotW*0.1, y, barW, h, seriesPalette[0])
+		if i%labelStep != 0 && i != n-1 {
+			continue
+		}
+		label := "+Inf"
+		if i < len(bounds) {
+			label = "&#8804;" + formatTick(bounds[i])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			x+slotW/2, svgHeight-marginBot+18, label)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// BurnDownChart assembles the DP-budget burn-down as a Chart: the
+// ledger's cumulative spend per release, the remaining budget per
+// release when a total is known, and the flat budget line. Callers
+// render it with Chart.SVG. Errors when the series are empty or
+// mismatched.
+func BurnDownChart(title string, releases []float64, spent []float64, total float64) (*Chart, error) {
+	if len(releases) == 0 || len(releases) != len(spent) {
+		return nil, fmt.Errorf("%w: %d releases for %d spend points", ErrBadSeries, len(releases), len(spent))
+	}
+	ch := &Chart{
+		Title:  title,
+		XLabel: "release",
+		YLabel: "epsilon",
+		Series: []Series{{Name: "spent", X: releases, Y: spent}},
+	}
+	if total > 0 {
+		remaining := make([]float64, len(spent))
+		for i, s := range spent {
+			remaining[i] = math.Max(0, total-s)
+		}
+		ch.Series = append(ch.Series,
+			Series{Name: "remaining", X: releases, Y: remaining},
+			Series{
+				Name: "budget",
+				X:    []float64{releases[0], releases[len(releases)-1]},
+				Y:    []float64{total, total},
+			})
+	}
+	return ch, nil
+}

@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramSVGRendersBars(t *testing.T) {
+	bounds := []float64{0.1, 0.5, 1}
+	counts := []int64{2, 5, 1, 0}
+	svg, err := HistogramSVG("Round latency", "seconds", bounds, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Error("output is not a standalone SVG document")
+	}
+	if strings.Count(svg, `stroke-width="0.5"/>`) < len(counts) {
+		t.Error("expected one bar rect per bucket")
+	}
+	if !strings.Contains(svg, "Round latency") || !strings.Contains(svg, "seconds") {
+		t.Error("title/axis labels missing")
+	}
+	if !strings.Contains(svg, "+Inf") {
+		t.Error("overflow bucket label missing")
+	}
+
+	// Byte-stable rendering, same contract as Chart.SVG.
+	again, err := HistogramSVG("Round latency", "seconds", bounds, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg != again {
+		t.Error("HistogramSVG is not deterministic")
+	}
+}
+
+func TestHistogramSVGRejectsMismatch(t *testing.T) {
+	if _, err := HistogramSVG("t", "x", []float64{1, 2}, []int64{1, 2}); err == nil {
+		t.Error("counts != len(bounds)+1 must error")
+	}
+	if _, err := HistogramSVG("t", "x", nil, nil); err == nil {
+		t.Error("empty histogram must error")
+	}
+}
+
+func TestHistogramSVGEmptyCountsRender(t *testing.T) {
+	// All-zero counts must still produce a well-formed chart (maxCount
+	// clamps to 1 so the y mapping stays defined).
+	svg, err := HistogramSVG("t", "x", []float64{1}, []int64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("degenerate histogram did not render")
+	}
+}
+
+func TestBurnDownChart(t *testing.T) {
+	ch, err := BurnDownChart("Budget", []float64{1, 2, 3}, []float64{0.5, 1.0, 1.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 3 {
+		t.Fatalf("series = %d, want spent+remaining+budget", len(ch.Series))
+	}
+	if ch.Series[1].Y[2] != 2.5 {
+		t.Errorf("remaining[2] = %v, want 2.5", ch.Series[1].Y[2])
+	}
+	svg, err := ch.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "spent") || !strings.Contains(svg, "budget") {
+		t.Error("legend entries missing")
+	}
+
+	// Unmetered runs have no total: only the spend line renders.
+	ch, err = BurnDownChart("Budget", []float64{1}, []float64{0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 1 {
+		t.Fatalf("unmetered series = %d, want 1", len(ch.Series))
+	}
+	if _, err := ch.SVG(); err != nil {
+		t.Fatalf("single-point burn-down must render: %v", err)
+	}
+
+	if _, err := BurnDownChart("t", nil, nil, 1); err == nil {
+		t.Error("empty burn-down must error")
+	}
+	if _, err := BurnDownChart("t", []float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched burn-down must error")
+	}
+}

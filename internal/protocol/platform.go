@@ -284,6 +284,57 @@ type Platform struct {
 	// cannot take the lock falls back to a fresh construction.
 	auctionMu sync.Mutex
 	auction   *core.Auction
+	// statusMu guards status, the live round/phase position published
+	// to the operator console.
+	statusMu sync.Mutex
+	status   RoundStatus
+}
+
+// RoundStatus is the platform's live position in the round lifecycle,
+// read by the operator console. Phase is PhaseIdle between rounds and
+// one of the four round phase names while one runs.
+type RoundStatus struct {
+	Round int    `json:"round"`
+	Phase string `json:"phase"`
+}
+
+// Round phase names as published in RoundStatus (and on round.phase
+// events, except idle which marks the gap between rounds).
+const (
+	PhaseIdle        = "idle"
+	PhaseCollectBids = "collect-bids"
+	PhaseAuction     = "auction"
+	PhaseLabels      = "labels"
+	PhaseAggregate   = "aggregate"
+)
+
+// setStatus publishes the platform's position.
+func (p *Platform) setStatus(round int, phase string) {
+	p.statusMu.Lock()
+	p.status = RoundStatus{Round: round, Phase: phase}
+	p.statusMu.Unlock()
+}
+
+// Status returns the live round/phase position.
+func (p *Platform) Status() RoundStatus {
+	p.statusMu.Lock()
+	defer p.statusMu.Unlock()
+	return p.status
+}
+
+// ShardStats returns the live per-partition stats, nil when the
+// platform runs unsharded.
+func (p *Platform) ShardStats() []shard.PartitionStats {
+	if p.coord == nil {
+		return nil
+	}
+	return p.coord.Stats()
+}
+
+// ConnectionsActive returns the number of worker connections currently
+// being serviced.
+func (p *Platform) ConnectionsActive() int64 {
+	return p.connsActive.Load()
 }
 
 // NewPlatform validates the configuration and returns a Platform.
@@ -301,7 +352,12 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		//mcslint:allow MCS-DET002 fallback seed for callers that supplied none; the chosen value is logged and exported via mcs_protocol_seed_info so the run stays replayable after the fact
 		cfg.Seed = time.Now().UnixNano()
 	}
-	p := &Platform{cfg: cfg, met: newPlatformMetrics(cfg.Telemetry), nextRound: cfg.StartRound}
+	p := &Platform{
+		cfg:       cfg,
+		met:       newPlatformMetrics(cfg.Telemetry),
+		nextRound: cfg.StartRound,
+		status:    RoundStatus{Round: cfg.StartRound, Phase: PhaseIdle},
+	}
 	if cfg.Shards > 1 {
 		coord, err := shard.NewCoordinator(shard.Config{
 			Partitions:          cfg.Shards,
@@ -400,6 +456,7 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 		}
 	}
 	start := reg.Now()
+	defer p.setStatus(round, PhaseIdle)
 	root := p.cfg.Tracer.StartSpan("round")
 	ev.Info("round.start", evlog.Int64("span", root.ID()), evlog.Int("round", round))
 	rep, reports, err := p.roundPhases(ctx, ln, round, root)
@@ -421,7 +478,7 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 			}
 			if cerr := p.cfg.Checkpoints.RecordRoundComplete(round, rep.Outcome.TotalPayment, paid); cerr != nil {
 				p.met.roundsFailed.Inc()
-				ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.String("reason", "checkpoint"))
+				ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.Int("round", round), evlog.String("reason", "checkpoint"))
 				return rep, reports, fmt.Errorf("protocol: checkpointing round %d completion: %w", round, cerr)
 			}
 		}
@@ -439,17 +496,17 @@ func (p *Platform) runRoundCollecting(ctx context.Context, ln net.Listener) (Rou
 	case errors.Is(err, ErrQuorumNotMet):
 		p.met.quorumFailures.Inc()
 		p.met.roundsDegraded.Inc()
-		ev.Warn("round.degraded", evlog.Int64("span", root.ID()), evlog.String("reason", "quorum_not_met"))
+		ev.Warn("round.degraded", evlog.Int64("span", root.ID()), evlog.Int("round", round), evlog.String("reason", "quorum_not_met"))
 	case IsDegraded(err):
 		p.met.roundsDegraded.Inc()
-		ev.Warn("round.degraded", evlog.Int64("span", root.ID()), evlog.String("reason", degradeReason(err)))
+		ev.Warn("round.degraded", evlog.Int64("span", root.ID()), evlog.Int("round", round), evlog.String("reason", degradeReason(err)))
 	case errors.Is(err, mechanism.ErrBudgetExhausted):
 		p.met.budgetRefusals.Inc()
 		p.met.roundsFailed.Inc()
-		ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.String("reason", "budget_exhausted"))
+		ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.Int("round", round), evlog.String("reason", "budget_exhausted"))
 	default:
 		p.met.roundsFailed.Inc()
-		ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.String("reason", "error"))
+		ev.Error("round.failed", evlog.Int64("span", root.ID()), evlog.Int("round", round), evlog.String("reason", "error"))
 	}
 	return rep, reports, err
 }
@@ -508,6 +565,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 		defer p.coord.CloseRound()
 	}
 
+	p.setStatus(round, PhaseCollectBids)
 	collectStart := reg.Now()
 	collectSpan := root.StartChild("collect-bids")
 	sessions, faults, err := p.collectBids(ctx, ln, collectSpan.ID())
@@ -538,6 +596,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 		evlog.Int("bids", len(sessions)),
 		evlog.Int("faults", faults.Total()))
 
+	p.setStatus(round, PhaseAuction)
 	auctionStart := reg.Now()
 	auctionSpan := root.StartChild("auction")
 	var (
@@ -578,6 +637,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 		winners[w] = true
 	}
 
+	p.setStatus(round, PhaseLabels)
 	labelsStart := reg.Now()
 	labelsSpan := root.StartChild("labels")
 
@@ -661,6 +721,7 @@ func (p *Platform) roundPhases(ctx context.Context, ln net.Listener, round int, 
 	report.ReportsReceived = len(reports)
 	report.Faults = faults
 
+	p.setStatus(round, PhaseAggregate)
 	aggStart := reg.Now()
 	aggSpan := root.StartChild("aggregate")
 	agg, err := crowd.WeightedAggregate(reports, skills, p.cfg.NumTasks)

@@ -1,0 +1,67 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestStatusPublication: the console's StatusSource starts idle at
+// StartRound, and a finished round — degraded or not — always lands
+// back on idle with the claimed round number.
+func TestStatusPublication(t *testing.T) {
+	cfg := testPlatformConfig(t)
+	cfg.StartRound = 3
+	cfg.BidWindow = 50 * time.Millisecond
+	cfg.MinWorkers = 0
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := platform.Status(); got != (RoundStatus{Round: 3, Phase: PhaseIdle}) {
+		t.Fatalf("initial status = %+v, want round 3 idle", got)
+	}
+	if platform.ConnectionsActive() != 0 {
+		t.Error("fresh platform must report 0 active connections")
+	}
+	if platform.ShardStats() != nil {
+		t.Error("unsharded platform must report nil shard stats")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// No workers connect, so the round degrades with ErrNoBids after
+	// the window — but it claimed round 3 and must end idle on it.
+	_, err = platform.RunRound(context.Background(), ln)
+	if !errors.Is(err, ErrNoBids) {
+		t.Fatalf("RunRound = %v, want ErrNoBids", err)
+	}
+	if got := platform.Status(); got != (RoundStatus{Round: 3, Phase: PhaseIdle}) {
+		t.Errorf("post-round status = %+v, want round 3 idle", got)
+	}
+}
+
+// TestStatusSharded: a sharded platform exposes one PartitionStats row
+// per configured shard before any round runs.
+func TestStatusSharded(t *testing.T) {
+	cfg := testPlatformConfig(t)
+	cfg.Shards = 4
+	platform, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := platform.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats returned %d rows, want 4", len(stats))
+	}
+	for i, s := range stats {
+		if s.Partition != i || s.Admitted != 0 {
+			t.Errorf("row %d = %+v", i, s)
+		}
+	}
+}

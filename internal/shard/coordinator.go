@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dphsrc/dphsrc/internal/core"
 	"github.com/dphsrc/dphsrc/internal/telemetry/evlog"
@@ -32,6 +33,10 @@ type Coordinator struct {
 	open   bool
 	closed bool
 	parts  []*partition
+
+	// stats[i] is partition i's cumulative counters across every round
+	// served, read lock-free by the operator console while rounds run.
+	stats []partStat
 
 	// reuse[i] is partition i's auction from a previous round, rebuilt
 	// in place (core.Auction.Rebuild) instead of reconstructed. Each
@@ -63,8 +68,57 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	return &Coordinator{
 		cfg:   cfg,
 		met:   newShardMetrics(cfg.Telemetry, cfg.Partitions),
+		stats: make([]partStat, cfg.Partitions),
 		reuse: make([]*core.Auction, cfg.Partitions),
 	}, nil
+}
+
+// partStat is one partition's cumulative counters. Atomics, so Submit
+// and the console reader never contend on the coordinator mutex.
+type partStat struct {
+	admitted  atomic.Int64
+	overloads atomic.Int64
+	killed    atomic.Int64
+}
+
+// PartitionStats is one partition's live view for the operator
+// console: the current round's queue occupancy plus cumulative
+// admissions, backpressure rejections, and chaos kills.
+type PartitionStats struct {
+	Partition int `json:"partition"`
+	// Pending is the current round's admitted-bid count, zero between
+	// rounds.
+	Pending int `json:"pending"`
+	// QueueDepth and BatchSize echo the configured bounds so the
+	// console can render occupancy against capacity.
+	QueueDepth int   `json:"queue_depth"`
+	BatchSize  int   `json:"batch_size"`
+	Admitted   int64 `json:"admitted_total"`
+	Overloads  int64 `json:"overloads_total"`
+	Killed     int64 `json:"killed_total"`
+}
+
+// Stats returns every partition's live stats, in partition order.
+func (c *Coordinator) Stats() []PartitionStats {
+	c.mu.Lock()
+	parts := c.parts
+	open := c.open
+	c.mu.Unlock()
+	out := make([]PartitionStats, c.cfg.Partitions)
+	for i := range out {
+		out[i] = PartitionStats{
+			Partition:  i,
+			QueueDepth: c.cfg.QueueDepth,
+			BatchSize:  c.cfg.BatchSize,
+			Admitted:   c.stats[i].admitted.Load(),
+			Overloads:  c.stats[i].overloads.Load(),
+			Killed:     c.stats[i].killed.Load(),
+		}
+		if open && parts != nil {
+			out[i].Pending = parts[i].q.count()
+		}
+	}
+	return out
 }
 
 // Partitions returns the configured partition count.
@@ -116,10 +170,12 @@ func (c *Coordinator) Submit(b Bid) error {
 	if err := p.q.put(b); err != nil {
 		if err != ErrRoundClosed {
 			c.met.overloads.Inc()
+			c.stats[p.idx].overloads.Add(1)
 		}
 		return err
 	}
 	c.met.bidsPerShard[p.idx].Inc()
+	c.stats[p.idx].admitted.Add(1)
 	return nil
 }
 
@@ -245,6 +301,7 @@ func (c *Coordinator) RunRound(ctx context.Context, roundSeed int64) (RoundOutco
 			out.Completed++
 		case StatusKilled:
 			out.Killed++
+			c.stats[i].killed.Add(1)
 		case StatusInfeasible:
 			out.Infeasible++
 		case StatusEmpty:

@@ -63,6 +63,26 @@ func BenchmarkTimedSectionLive(b *testing.B) {
 	}
 }
 
+func BenchmarkSnapshotNop(b *testing.B) {
+	var reg *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Snapshot()
+	}
+}
+
+func BenchmarkSnapshotLive(b *testing.B) {
+	reg := NewRegistry()
+	reg.Counter(`c_total{result="a"}`, "").Inc()
+	reg.Counter(`c_total{result="b"}`, "").Inc()
+	reg.Gauge("g", "").Set(2)
+	reg.Histogram("h_seconds", "", TimeBuckets).Observe(0.004)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Snapshot()
+	}
+}
+
 func BenchmarkSpanNop(b *testing.B) {
 	var tr *Tracer
 	b.ReportAllocs()

@@ -153,6 +153,7 @@ type Logger struct {
 	min   Level
 	max   int
 	sink  io.Writer
+	tail  *TailBuffer
 
 	mu      sync.Mutex
 	seq     int64
@@ -279,6 +280,9 @@ func (l *Logger) Log(level Level, event string, fields ...Field) {
 		if _, err := l.sink.Write(buf); err != nil && l.sinkErr == nil {
 			l.sinkErr = err
 		}
+	}
+	if l.tail != nil {
+		l.tail.observe(l.seq, event, buf)
 	}
 	l.mu.Unlock()
 }

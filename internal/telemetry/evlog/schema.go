@@ -296,44 +296,55 @@ type BudgetLedger struct {
 func FoldBudget(events []Event) (BudgetLedger, error) {
 	var led BudgetLedger
 	for _, e := range events {
-		switch e.Name {
-		case EventBudgetRecover:
-			spent, ok := e.Float("spent")
-			if !ok {
-				return led, fmt.Errorf("%w: budget.recover seq %d missing spent", ErrBadLedger, e.Seq)
-			}
-			led.CumulativeEpsilon = spent
-			led.FinalSpent = spent
-			if releases, ok := e.Int("releases"); ok {
-				led.Releases = int(releases)
-			}
-			if refusals, ok := e.Int("refusals"); ok {
-				led.Refusals = int(refusals)
-			}
-			if total, ok := e.Float("total"); ok {
-				led.Total = total
-			}
-		case EventBudgetSpend:
-			eps, ok := e.Float("eps")
-			if !ok {
-				return led, fmt.Errorf("%w: budget.spend seq %d missing eps", ErrBadLedger, e.Seq)
-			}
-			spent, ok := e.Float("spent")
-			if !ok {
-				return led, fmt.Errorf("%w: budget.spend seq %d missing spent", ErrBadLedger, e.Seq)
-			}
-			led.Releases++
-			led.CumulativeEpsilon += eps
-			led.FinalSpent = spent
-			if total, ok := e.Float("total"); ok {
-				led.Total = total
-			}
-		case EventBudgetRefuse:
-			led.Refusals++
-			if total, ok := e.Float("total"); ok {
-				led.Total = total
-			}
+		if err := led.fold(e); err != nil {
+			return led, err
 		}
 	}
 	return led, nil
+}
+
+// fold applies one event to the ledger — the single step FoldBudget
+// iterates and the console TailBuffer applies incrementally as lines
+// are emitted, so both reconstructions perform the same float
+// additions in the same order. Non-budget events are ignored.
+func (led *BudgetLedger) fold(e Event) error {
+	switch e.Name {
+	case EventBudgetRecover:
+		spent, ok := e.Float("spent")
+		if !ok {
+			return fmt.Errorf("%w: budget.recover seq %d missing spent", ErrBadLedger, e.Seq)
+		}
+		led.CumulativeEpsilon = spent
+		led.FinalSpent = spent
+		if releases, ok := e.Int("releases"); ok {
+			led.Releases = int(releases)
+		}
+		if refusals, ok := e.Int("refusals"); ok {
+			led.Refusals = int(refusals)
+		}
+		if total, ok := e.Float("total"); ok {
+			led.Total = total
+		}
+	case EventBudgetSpend:
+		eps, ok := e.Float("eps")
+		if !ok {
+			return fmt.Errorf("%w: budget.spend seq %d missing eps", ErrBadLedger, e.Seq)
+		}
+		spent, ok := e.Float("spent")
+		if !ok {
+			return fmt.Errorf("%w: budget.spend seq %d missing spent", ErrBadLedger, e.Seq)
+		}
+		led.Releases++
+		led.CumulativeEpsilon += eps
+		led.FinalSpent = spent
+		if total, ok := e.Float("total"); ok {
+			led.Total = total
+		}
+	case EventBudgetRefuse:
+		led.Refusals++
+		if total, ok := e.Float("total"); ok {
+			led.Total = total
+		}
+	}
+	return nil
 }

@@ -1,0 +1,265 @@
+package evlog
+
+import (
+	"sync"
+
+	"github.com/dphsrc/dphsrc/internal/telemetry"
+)
+
+// defaultTailEvents bounds the console's event ring. Small enough that
+// a long campaign cannot grow the platform's memory, large enough to
+// page a few screens of drill-down history.
+const defaultTailEvents = 2048
+
+// tailBudgetPoints bounds the burn-down series the ring keeps for
+// charting; one point per budget release, far beyond any campaign's
+// round count.
+const tailBudgetPoints = 4096
+
+// TailEntry is one retained line in a TailBuffer. Raw is the rendered
+// JSONL line without its trailing newline; the bytes are shared with
+// the logger's buffer and must be treated as read-only. Because the
+// line was rendered by the typed Field API, it is redaction-safe by
+// construction: bid-typed values can only have entered it through
+// Redacted or Aggregate wrappers.
+type TailEntry struct {
+	Seq int64
+	Raw []byte
+}
+
+// BudgetPoint is one step of the epsilon burn-down: the cumulative
+// ledger state after the Release'th successful debit (release 0 is a
+// recovery baseline).
+type BudgetPoint struct {
+	Release int     `json:"release"`
+	Spent   float64 `json:"spent"`
+	Total   float64 `json:"total"`
+}
+
+// TailBuffer is a bounded ring over the logger's rendered event lines,
+// feeding the operator console's drill-down and burn-down views. It
+// attaches via WithTail and observes every emitted line inside the
+// logger's critical section, so its view is ordered exactly like the
+// stream; overflow overwrites the oldest entry in O(1) and counts a
+// drop — the evlog hot path never blocks on a slow console.
+//
+// Separately from the ring, the buffer folds budget.* events into a
+// BudgetLedger incrementally as they are emitted. The fold performs
+// the same float additions in the same order as FoldBudget over the
+// full stream, so Ledger() reconciles bit-for-bit with the accountant
+// even after the ring has evicted the underlying lines.
+//
+// A nil *TailBuffer is the Nop: every method no-ops or returns zeros.
+type TailBuffer struct {
+	mu      sync.Mutex
+	entries []TailEntry
+	next    int // ring write cursor
+	filled  int // entries in use, <= len(entries)
+	lastSeq int64
+	total   int64
+	dropped int64
+	drops   *telemetry.Counter
+
+	led    BudgetLedger
+	ledErr error
+	budget []BudgetPoint
+}
+
+// NewTailBuffer returns a ring retaining the last capacity events
+// (default 2048 when capacity <= 0).
+func NewTailBuffer(capacity int) *TailBuffer {
+	if capacity <= 0 {
+		capacity = defaultTailEvents
+	}
+	return &TailBuffer{entries: make([]TailEntry, capacity)}
+}
+
+// WithTail attaches a TailBuffer to the logger: every emitted line is
+// observed by the ring in emission order.
+func WithTail(t *TailBuffer) Option {
+	return func(l *Logger) { l.tail = t }
+}
+
+// Instrument exports the ring's overflow count as
+// mcs_console_events_dropped_total, folding in any drops that predate
+// the call. Safe on the nil buffer or registry.
+func (t *TailBuffer) Instrument(reg *telemetry.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	c := reg.Counter("mcs_console_events_dropped_total",
+		"Events evicted from the console tail ring (oldest-first overwrite).")
+	t.mu.Lock()
+	t.drops = c
+	c.Add(t.dropped)
+	t.mu.Unlock()
+}
+
+// observe records one rendered line. Called from Logger.Log under the
+// logger's mutex; the nested lock order (logger -> tail) is the only
+// one in the program, and the body is allocation-light and never
+// blocks, so the emit hot path stays fast.
+func (t *TailBuffer) observe(seq int64, event string, line []byte) {
+	raw := line
+	if n := len(raw); n > 0 && raw[n-1] == '\n' {
+		raw = raw[:n-1]
+	}
+	t.mu.Lock()
+	if t.filled == len(t.entries) {
+		t.dropped++
+		t.drops.Inc()
+	} else {
+		t.filled++
+	}
+	t.entries[t.next] = TailEntry{Seq: seq, Raw: raw}
+	t.next++
+	if t.next == len(t.entries) {
+		t.next = 0
+	}
+	t.lastSeq = seq
+	t.total++
+	switch event {
+	case EventBudgetSpend, EventBudgetRefuse, EventBudgetRecover:
+		t.foldBudgetLine(raw)
+	}
+	t.mu.Unlock()
+}
+
+// foldBudgetLine applies one budget event to the incremental ledger
+// and extends the burn-down series. Called with t.mu held.
+func (t *TailBuffer) foldBudgetLine(raw []byte) {
+	e, err := ParseEvent(raw)
+	if err == nil {
+		err = t.led.fold(e)
+	}
+	if err != nil {
+		if t.ledErr == nil {
+			t.ledErr = err
+		}
+		return
+	}
+	if e.Name == EventBudgetRefuse {
+		return
+	}
+	if len(t.budget) == tailBudgetPoints {
+		copy(t.budget, t.budget[1:])
+		t.budget = t.budget[:tailBudgetPoints-1]
+	}
+	t.budget = append(t.budget, BudgetPoint{
+		Release: t.led.Releases,
+		Spent:   t.led.CumulativeEpsilon,
+		Total:   t.led.Total,
+	})
+}
+
+// Tail returns up to limit retained entries newest-first, skipping
+// entries with Seq >= beforeSeq when beforeSeq > 0 — the paging cursor
+// for the console's events view. limit <= 0 returns everything
+// retained (after the cursor).
+func (t *TailBuffer) Tail(beforeSeq int64, limit int) []TailEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if limit <= 0 || limit > t.filled {
+		limit = t.filled
+	}
+	out := make([]TailEntry, 0, limit)
+	// Walk backwards from the newest entry.
+	idx := t.next - 1
+	for n := 0; n < t.filled && len(out) < limit; n++ {
+		if idx < 0 {
+			idx = len(t.entries) - 1
+		}
+		e := t.entries[idx]
+		idx--
+		if beforeSeq > 0 && e.Seq >= beforeSeq {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (t *TailBuffer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.filled
+}
+
+// Cap returns the ring capacity.
+func (t *TailBuffer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.entries)
+}
+
+// Total returns how many events the ring has observed, retained or
+// not.
+func (t *TailBuffer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many observed events the ring has evicted.
+func (t *TailBuffer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// LastSeq returns the sequence number of the newest observed event,
+// zero before any.
+func (t *TailBuffer) LastSeq() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastSeq
+}
+
+// Ledger returns the incrementally folded budget ledger. Unlike the
+// ring it never forgets: it covers every budget event since the buffer
+// attached, so it equals FoldBudget over the full stream bit-for-bit.
+func (t *TailBuffer) Ledger() BudgetLedger {
+	if t == nil {
+		return BudgetLedger{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.led
+}
+
+// LedgerErr returns the first malformed budget event seen, if any.
+func (t *TailBuffer) LedgerErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ledErr
+}
+
+// BudgetSeries returns a copy of the burn-down points, oldest first.
+func (t *TailBuffer) BudgetSeries() []BudgetPoint {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]BudgetPoint(nil), t.budget...)
+}

@@ -1,0 +1,204 @@
+package evlog
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dphsrc/dphsrc/internal/telemetry"
+)
+
+func tailClock() telemetry.Clock {
+	return telemetry.NewManualClock(time.Unix(1000, 0))
+}
+
+func TestTailBufferRetainsNewestFirst(t *testing.T) {
+	tb := NewTailBuffer(4)
+	lg := New(WithClock(tailClock()), WithTail(tb))
+	for i := 0; i < 6; i++ {
+		lg.Info("round.start", Int("round", i))
+	}
+	if tb.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (capacity)", tb.Len())
+	}
+	if tb.Total() != 6 || tb.Dropped() != 2 {
+		t.Errorf("total/dropped = %d/%d, want 6/2", tb.Total(), tb.Dropped())
+	}
+	if tb.LastSeq() != 6 {
+		t.Errorf("lastSeq = %d, want 6", tb.LastSeq())
+	}
+	entries := tb.Tail(0, 0)
+	if len(entries) != 4 {
+		t.Fatalf("tail returned %d entries, want 4", len(entries))
+	}
+	for i, e := range entries {
+		wantSeq := int64(6 - i)
+		if e.Seq != wantSeq {
+			t.Errorf("entry %d seq = %d, want %d (newest first)", i, e.Seq, wantSeq)
+		}
+		ev, err := ParseEvent(e.Raw)
+		if err != nil {
+			t.Fatalf("entry %d does not parse: %v", i, err)
+		}
+		if ev.Seq != wantSeq || ev.Name != "round.start" {
+			t.Errorf("entry %d parsed as seq=%d name=%q", i, ev.Seq, ev.Name)
+		}
+	}
+}
+
+func TestTailBufferPaging(t *testing.T) {
+	tb := NewTailBuffer(8)
+	lg := New(WithClock(tailClock()), WithTail(tb))
+	for i := 0; i < 8; i++ {
+		lg.Info("e")
+	}
+	page1 := tb.Tail(0, 3)
+	if len(page1) != 3 || page1[0].Seq != 8 || page1[2].Seq != 6 {
+		t.Fatalf("page1 seqs = %v", seqs(page1))
+	}
+	page2 := tb.Tail(page1[len(page1)-1].Seq, 3)
+	if len(page2) != 3 || page2[0].Seq != 5 || page2[2].Seq != 3 {
+		t.Fatalf("page2 seqs = %v", seqs(page2))
+	}
+	page3 := tb.Tail(page2[len(page2)-1].Seq, 3)
+	if len(page3) != 2 || page3[0].Seq != 2 || page3[1].Seq != 1 {
+		t.Fatalf("page3 seqs = %v", seqs(page3))
+	}
+}
+
+func seqs(entries []TailEntry) []int64 {
+	out := make([]int64, len(entries))
+	for i, e := range entries {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+// The invariant the console's epsilon display rests on: the tail's
+// incremental ledger equals FoldBudget over the full retained stream
+// bit-for-bit, even after the ring has evicted the budget lines
+// themselves.
+func TestTailLedgerMatchesFoldAcrossEviction(t *testing.T) {
+	tb := NewTailBuffer(2) // tiny ring: budget lines are evicted fast
+	var full bytes.Buffer
+	lg := New(WithClock(tailClock()), WithTail(tb), WithSink(&full))
+
+	spent := 0.0
+	for i := 0; i < 7; i++ {
+		eps := 0.1 * float64(i+1)
+		spent += eps
+		lg.Info(EventBudgetSpend,
+			Float("eps", eps), Float("spent", spent),
+			Float("total", 5), Float("remaining", 5-spent))
+		// Interleave noise so the ring churns.
+		lg.Debug("round.start", Int("round", i))
+		lg.Debug("bid.accepted", Redacted("bid"))
+	}
+	lg.Warn(EventBudgetRefuse, Float("eps", 9), Float("spent", spent), Float("total", 5))
+
+	events, err := ReadJSONL(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FoldBudget(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tb.Ledger()
+	if got != want {
+		t.Errorf("incremental ledger = %+v, want fold %+v", got, want)
+	}
+	if got.CumulativeEpsilon != want.CumulativeEpsilon {
+		t.Errorf("cumulative epsilon %v != fold %v (must be bit-for-bit)",
+			got.CumulativeEpsilon, want.CumulativeEpsilon)
+	}
+	if err := tb.LedgerErr(); err != nil {
+		t.Errorf("ledger err = %v", err)
+	}
+
+	series := tb.BudgetSeries()
+	if len(series) != 7 {
+		t.Fatalf("budget series has %d points, want 7 (refusals excluded)", len(series))
+	}
+	last := series[len(series)-1]
+	if last.Release != 7 || last.Spent != want.CumulativeEpsilon || last.Total != 5 {
+		t.Errorf("last point = %+v", last)
+	}
+}
+
+func TestTailLedgerSeedsFromRecover(t *testing.T) {
+	tb := NewTailBuffer(16)
+	lg := New(WithClock(tailClock()), WithTail(tb))
+	lg.Info(EventBudgetRecover,
+		Float("spent", 1.5), Float("total", 4), Int("releases", 3), Int("refusals", 1))
+	lg.Info(EventBudgetSpend,
+		Float("eps", 0.5), Float("spent", 2.0), Float("total", 4), Float("remaining", 2))
+	led := tb.Ledger()
+	if led.Releases != 4 || led.Refusals != 1 || led.CumulativeEpsilon != 2.0 {
+		t.Errorf("ledger = %+v", led)
+	}
+	series := tb.BudgetSeries()
+	if len(series) != 2 || series[0].Release != 3 || series[1].Release != 4 {
+		t.Errorf("series = %+v", series)
+	}
+}
+
+func TestTailBufferDropCounterExported(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tb := NewTailBuffer(2)
+	lg := New(WithClock(tailClock()), WithTail(tb))
+	lg.Info("a")
+	lg.Info("b")
+	lg.Info("c") // evicts "a" before instrumentation
+	tb.Instrument(reg)
+	lg.Info("d") // evicts "b" after
+	got := reg.Snapshot().Counter("mcs_console_events_dropped_total")
+	if got != 2 {
+		t.Errorf("drop counter = %d, want 2 (one pre-, one post-instrument)", got)
+	}
+	if tb.Dropped() != 2 {
+		t.Errorf("Dropped() = %d, want 2", tb.Dropped())
+	}
+}
+
+func TestTailBufferNilIsNop(t *testing.T) {
+	var tb *TailBuffer
+	tb.Instrument(telemetry.NewRegistry())
+	if tb.Len() != 0 || tb.Cap() != 0 || tb.Total() != 0 || tb.Dropped() != 0 || tb.LastSeq() != 0 {
+		t.Error("nil tail must read as zeros")
+	}
+	if tb.Tail(0, 10) != nil || tb.BudgetSeries() != nil || tb.LedgerErr() != nil {
+		t.Error("nil tail slices must be nil")
+	}
+	if tb.Ledger() != (BudgetLedger{}) {
+		t.Error("nil tail ledger must be zero")
+	}
+}
+
+// Redaction safety is inherited, not re-implemented: the ring stores
+// the exact bytes the typed Field API rendered. A bid logged through
+// the sanctioned wrappers must never appear in any retained line.
+func TestTailEntriesCarryOnlyRedactedBids(t *testing.T) {
+	tb := NewTailBuffer(8)
+	lg := New(WithClock(tailClock()), WithTail(tb))
+	const sentinelBid = 13.37
+	lg.Info("bid.accepted", String("worker", "w01"), Redacted("bid"))
+	lg.Info("round.complete", Aggregate("clearing_price", 7.5), Int("winners", 3))
+	needle := []byte(fmt.Sprintf("%g", sentinelBid))
+	for _, e := range tb.Tail(0, 0) {
+		if bytes.Contains(e.Raw, needle) {
+			t.Fatalf("sentinel bid leaked into tail entry: %s", e.Raw)
+		}
+		if bytes.Contains(e.Raw, []byte(`"bid":1`)) {
+			t.Fatalf("raw bid value in tail entry: %s", e.Raw)
+		}
+	}
+	ev, err := ParseEvent(tb.Tail(0, 0)[1].Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Redacted("bid") {
+		t.Error("bid field must round-trip as redacted")
+	}
+}
